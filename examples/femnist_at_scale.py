@@ -1,0 +1,59 @@
+"""Large-federation demo: FEMNIST analogue with skewed tier populations.
+
+A scaled-down version of the paper's Fig 10 experiment: FedAT on the
+62-class FEMNIST analogue with natural heterogeneity (power-law client
+sizes, per-writer feature shift), comparing a uniform tier population
+against a straggler-heavy one.
+
+    python examples/femnist_at_scale.py
+"""
+
+from repro import run_experiment
+from repro.metrics.report import format_table
+
+
+def main() -> None:
+    n = 30  # clients; raise to 500 to match the paper's AWS deployment
+    configs = {
+        "uniform": [6, 6, 6, 6, 6],
+        "slow-heavy": [3, 3, 6, 6, 12],
+        "fast-heavy": [12, 6, 6, 3, 3],
+    }
+    rows = []
+    for name, counts in configs.items():
+        h = run_experiment(
+            "fedat",
+            "femnist",
+            scale="tiny",
+            seed=0,
+            num_clients=n,
+            delay_counts=counts,
+            max_rounds=60,
+            max_time=300.0,
+            eval_every=10,
+        )
+        rows.append(
+            [
+                name,
+                "/".join(map(str, counts)),
+                f"{h.best_accuracy():.3f}",
+                f"{h.times()[-1]:.0f}s",
+                str(h.meta["tier_update_counts"]),
+            ]
+        )
+    print(f"FedAT on femnist analogue, {n} clients "
+          f"(62 classes, power-law sizes, writer shift):\n")
+    print(
+        format_table(
+            ["tier distribution", "counts", "best acc", "virtual time", "tier updates"],
+            rows,
+        )
+    )
+    print(
+        "\nPaper Fig 10: all distributions converge to close accuracy; "
+        "tier sizes affect speed, not final quality."
+    )
+
+
+if __name__ == "__main__":
+    main()

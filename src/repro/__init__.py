@@ -1,0 +1,39 @@
+"""repro — a reproduction of FedAT (SC 2021).
+
+FedAT: a high-performance and communication-efficient federated learning
+system with asynchronous tiers (Chai et al.). This package implements the
+full system on a from-scratch NumPy substrate:
+
+- :mod:`repro.nn` — neural-network library (CNN/LSTM/logistic models);
+- :mod:`repro.data` — synthetic federated datasets with non-IID partitions;
+- :mod:`repro.compression` — polyline weight compression;
+- :mod:`repro.sim` — discrete-event cluster simulator (stragglers, dropout);
+- :mod:`repro.tiering` — latency profiling and tier assignment;
+- :mod:`repro.core` — FedAT (Algorithm 2) and the tiered server;
+- :mod:`repro.baselines` — FedAvg, FedProx, TiFL, FedAsync, ASO-Fed;
+- :mod:`repro.experiments` — every table/figure of the paper's evaluation.
+
+Quickstart::
+
+    from repro import run_experiment
+    history = run_experiment("fedat", "cifar10", scale="tiny",
+                             classes_per_client=2, seed=0)
+    print(history.best_accuracy())
+"""
+
+from repro.core.config import FLConfig
+from repro.core.fedat import FedAT
+from repro.experiments.runner import ALGORITHMS, build_federation, run_experiment
+from repro.metrics.history import RunHistory
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FedAT",
+    "FLConfig",
+    "RunHistory",
+    "ALGORITHMS",
+    "run_experiment",
+    "build_federation",
+    "__version__",
+]

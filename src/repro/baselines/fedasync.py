@@ -1,0 +1,100 @@
+"""FedAsync (Xie et al., 2019) — fully asynchronous FL.
+
+Every alive client trains continuously: download the current global model,
+train locally, upload, repeat. On each upload the server mixes
+``w ← (1 − α_t) w + α_t w_k`` with ``α_t = α · s(staleness)`` where
+staleness is the number of server versions that elapsed while the client
+trained. Because *all* clients talk to the server all the time, uplink
+traffic is enormous — the communication bottleneck FedAT is designed to
+avoid (Table 2 / Fig 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.base import FLSystem
+from repro.metrics.history import RunHistory
+from repro.sim.events import EventQueue
+
+__all__ = ["FedAsync", "staleness_factor"]
+
+
+def staleness_factor(kind: str, staleness: int, a: float = 0.5, b: int = 4) -> float:
+    """The s(t−τ) functions from the FedAsync paper.
+
+    ``constant``: 1; ``poly``: (1 + staleness)^(−a);
+    ``hinge``: 1 if staleness ≤ b else 1 / (a · (staleness − b) + 1).
+    """
+    if staleness < 0:
+        raise ValueError("staleness must be non-negative")
+    if kind == "constant":
+        return 1.0
+    if kind == "poly":
+        return float((1.0 + staleness) ** (-a))
+    if kind == "hinge":
+        return 1.0 if staleness <= b else 1.0 / (a * (staleness - b) + 1.0)
+    raise ValueError(f"unknown staleness function {kind!r}")
+
+
+@dataclass
+class _ClientDone:
+    client_id: int
+    start_version: int
+    weights: np.ndarray  # post-training local weights (already "uploaded")
+    n_samples: int
+    uplink_bytes: int
+
+
+class FedAsync(FLSystem):
+    name = "fedasync"
+
+    def _mix(self, local: np.ndarray, staleness: int) -> None:
+        cfg = self.config
+        alpha = cfg.fedasync_alpha * staleness_factor(
+            cfg.fedasync_staleness, staleness, cfg.fedasync_a
+        )
+        self.global_weights = (1.0 - alpha) * self.global_weights + alpha * local
+
+    def _launch(self, client_id: int, queue: EventQueue) -> None:
+        """Start one client cycle: download, train, schedule the upload."""
+        received = self.send_down(self.global_weights, n_receivers=1)
+        latency = self.sample_latency(client_id)
+        start, finish = queue.now, queue.now + latency
+        if not self.failures.will_complete(client_id, start, finish):
+            return  # the client dies mid-round and never comes back
+        res = self.train_client(client_id, received, latency, lam=0.0)
+        payload = self.codec.encode(res.weights)
+        queue.schedule_at(
+            finish,
+            _ClientDone(
+                client_id=client_id,
+                start_version=self.round,
+                weights=self.codec.decode(payload),
+                n_samples=res.n_samples,
+                uplink_bytes=payload.nbytes,
+            ),
+        )
+
+    def run(self) -> RunHistory:
+        queue = EventQueue()
+        self.record_eval()
+        for cid in self.alive(range(self.dataset.num_clients), 0.0):
+            self._launch(cid, queue)
+        while not queue.empty and not self.budget_exhausted():
+            ev = queue.pop()
+            self.now = ev.time
+            done: _ClientDone = ev.payload
+            self.meter.record_upload(done.uplink_bytes)
+            staleness = self.round - done.start_version
+            self._mix(done.weights, staleness)
+            self.round += 1
+            if self._eval_due():
+                self.record_eval()
+            # Client immediately begins its next cycle from the new model.
+            self._launch(done.client_id, queue)
+        if not self.history.records or self.history.records[-1].round != self.round:
+            self.record_eval()
+        return self.history

@@ -1,0 +1,20 @@
+"""FedAvg (McMahan et al., 2017) — the synchronous baseline of Algorithm 1.
+
+Each round samples ``clients_per_round`` clients uniformly from the alive
+population; the server waits for the slowest response and aggregates with
+``n_k/N`` weights. No proximal term, no compression.
+"""
+
+from __future__ import annotations
+
+from repro.core.base import SyncFLSystem
+
+__all__ = ["FedAvg"]
+
+
+class FedAvg(SyncFLSystem):
+    name = "fedavg"
+
+    # SyncFLSystem's defaults *are* FedAvg: uniform random cohort over all
+    # alive clients, n_k-weighted averaging, λ = 0. The class exists so the
+    # method has a first-class name in registries and results.

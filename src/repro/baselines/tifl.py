@@ -1,0 +1,122 @@
+"""TiFL (Chai et al., HPDC 2020) — synchronous tier-based FL.
+
+Clients are tiered by response latency (same tiering module FedAT uses).
+Each round the server picks *one tier* via an adaptive, credit-bounded
+policy, then samples ``clients_per_round`` clients within it — so rounds
+touching fast tiers are short, and the straggler tail only bites when a
+slow tier is drawn.
+
+Adaptive selection: every ``tifl_interval`` rounds the server refreshes
+per-tier test accuracies of the current global model and sets selection
+probabilities ∝ (1 − accuracy) over tiers with remaining credits, so
+under-trained (usually slow) tiers are favored. Credits bound how often a
+tier can be selected over the whole run, limiting bias toward any tier.
+The paper (§2.1) notes this refresh "requires collecting test accuracies
+of all clients", i.e. extra communication and a biased-training risk — the
+behaviour this implementation reproduces.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.base import SyncFLSystem
+from repro.metrics.evaluation import Evaluator
+
+__all__ = ["TiFL"]
+
+
+class TiFL(SyncFLSystem):
+    name = "tifl"
+
+    def __init__(
+        self,
+        dataset,
+        model_builder,
+        config,
+        *,
+        tiering=None,
+        delay_model=None,
+    ):
+        super().__init__(dataset, model_builder, config, delay_model=delay_model)
+        self.tiering = tiering if tiering is not None else self.build_tiering()
+        m = self.tiering.num_tiers
+        # Credits: how many times each tier may be selected in total.
+        per_tier = int(np.ceil(config.max_rounds / m * config.tifl_credit_slack))
+        self.credits = np.full(m, per_tier, dtype=np.int64)
+        self.tier_probs = np.full(m, 1.0 / m)
+        self._tier_rng = self.factory.rng("algo/tifl/tier")
+        self._current_tier = 0
+        # Per-tier evaluators over each tier's client test shards.
+        self._tier_evaluators = [
+            Evaluator(
+                type(dataset)(
+                    name=dataset.name,
+                    clients=[dataset.clients[c] for c in self.tiering.clients_in(t)],
+                    num_classes=dataset.num_classes,
+                    input_shape=dataset.input_shape,
+                    task=dataset.task,
+                ),
+                self.worker,
+            )
+            for t in range(m)
+        ]
+
+    # ------------------------------------------------------------------ #
+    def _refresh_probabilities(self) -> None:
+        """Recompute selection probabilities from per-tier accuracies.
+
+        The refresh is not free: TiFL "requires collecting test accuracies
+        of all clients every certain rounds" (paper §2.1) — the server
+        pushes the current model to every alive client and waits for their
+        accuracy reports, which costs one downlink per client plus a
+        synchronization delay bounded by the slowest alive client.
+        """
+        alive = self.alive(range(self.dataset.num_clients))
+        self.send_down(self.global_weights, n_receivers=len(alive))
+        if alive:
+            # Evaluation round-trip: no training, but delays still apply.
+            eval_delay = max(
+                self.latency_model.round_latency(c, 0, 0, self._tier_rng)
+                for c in alive
+            )
+            self.now += eval_delay
+        acc = np.array(
+            [
+                ev.evaluate_flat(self.global_weights)["accuracy"]
+                for ev in self._tier_evaluators
+            ]
+        )
+        raw = np.maximum(1.0 - acc, 0.01)
+        raw[self.credits <= 0] = 0.0
+        total = raw.sum()
+        if total <= 0:  # all credits exhausted: fall back to uniform
+            raw = np.ones(self.tiering.num_tiers)
+            total = raw.sum()
+        self.tier_probs = raw / total
+        self.history.meta.setdefault("tier_prob_trace", []).append(
+            {"round": self.round, "probs": self.tier_probs.tolist()}
+        )
+
+    def choose_cohort(self) -> list[int]:
+        m = self.tiering.num_tiers
+        if self.round % self.config.tifl_interval == 0 and self.round > 0:
+            self._refresh_probabilities()
+        probs = self.tier_probs.copy()
+        probs[self.credits <= 0] = 0.0
+        if probs.sum() <= 0:
+            probs = np.ones(m)
+        probs /= probs.sum()
+        # Draw tiers until one yields alive clients (dead tiers are skipped).
+        for _ in range(4 * m):
+            tier = int(self._tier_rng.choice(m, p=probs))
+            pool = self.alive(self.tiering.clients_in(tier).tolist())
+            if pool:
+                self._current_tier = tier
+                self.credits[tier] -= 1
+                return self.select_clients(pool, self.config.clients_per_round)
+        return []  # every tier exhausted/dead
+
+    def on_round_end(self) -> None:
+        trace = self.history.meta.setdefault("tier_selection_trace", [])
+        trace.append(self._current_tier)

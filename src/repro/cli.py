@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+::
+
+    python -m repro run --method fedat --dataset cifar10 --scale tiny
+    python -m repro compare --dataset sentiment140 --methods fedat,fedavg
+    python -m repro codecs --size 20000
+    python -m repro list
+
+``run`` executes one experiment and prints the history summary (optionally
+saving the full series as JSON). ``compare`` runs several methods on the
+identical federation and prints a side-by-side table. ``codecs`` reports
+compression ratios on synthetic weights.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.experiments.runner import ALGORITHMS, run_experiment
+from repro.metrics.report import format_table, time_to_accuracy
+from repro.utils.serialization import save_json
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FedAT (SC 2021) reproduction — run federated-learning "
+        "experiments on the discrete-event simulator.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one (method, dataset) experiment")
+    run_p.add_argument("--method", required=True, choices=sorted(ALGORITHMS))
+    run_p.add_argument("--dataset", required=True)
+    run_p.add_argument("--scale", default="tiny", choices=["tiny", "bench", "paper"])
+    run_p.add_argument("--seed", type=int, default=0)
+    run_p.add_argument("--classes-per-client", type=int, default=None,
+                       help="k-class non-IID level (omit for dataset default)")
+    run_p.add_argument("--clients", type=int, default=None)
+    run_p.add_argument("--rounds", type=int, default=None)
+    run_p.add_argument("--max-time", type=float, default=None)
+    run_p.add_argument("--lam", type=float, default=None)
+    run_p.add_argument("--compression", default="default",
+                       help='e.g. "polyline:4", "quant:8", "none"')
+    run_p.add_argument("--out", default=None, help="write history JSON here")
+
+    cmp_p = sub.add_parser("compare", help="run several methods side by side")
+    cmp_p.add_argument("--dataset", required=True)
+    cmp_p.add_argument("--methods", default="fedat,fedavg,fedasync",
+                       help="comma-separated method names")
+    cmp_p.add_argument("--scale", default="tiny", choices=["tiny", "bench", "paper"])
+    cmp_p.add_argument("--seed", type=int, default=0)
+    cmp_p.add_argument("--classes-per-client", type=int, default=None)
+    cmp_p.add_argument("--target-fraction", type=float, default=0.9,
+                       help="time-to-target threshold as a fraction of the "
+                       "first method's best accuracy")
+
+    codec_p = sub.add_parser("codecs", help="compression ratios on synthetic weights")
+    codec_p.add_argument("--size", type=int, default=20_000)
+    codec_p.add_argument("--std", type=float, default=0.1)
+
+    sub.add_parser("list", help="list available methods and datasets")
+    return parser
+
+
+def _run_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if args.classes_per_client is not None:
+        kwargs["classes_per_client"] = args.classes_per_client
+    if getattr(args, "clients", None) is not None:
+        kwargs["num_clients"] = args.clients
+    if getattr(args, "rounds", None) is not None:
+        kwargs["max_rounds"] = args.rounds
+    if getattr(args, "max_time", None) is not None:
+        kwargs["max_time"] = args.max_time
+    if getattr(args, "lam", None) is not None:
+        kwargs["lam"] = args.lam
+    compression = getattr(args, "compression", "default")
+    if compression != "default":
+        kwargs["compression"] = None if compression == "none" else compression
+    return kwargs
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    history = run_experiment(
+        args.method, args.dataset, scale=args.scale, seed=args.seed,
+        **_run_kwargs(args),
+    )
+    print(f"method         : {history.method}")
+    print(f"dataset        : {history.dataset}")
+    print(f"global updates : {history.rounds()[-1]}")
+    print(f"virtual time   : {history.times()[-1]:.0f} s")
+    print(f"best accuracy  : {history.best_accuracy():.4f}")
+    print(f"final accuracy : {history.final_accuracy():.4f}")
+    print(f"acc variance   : {history.mean_accuracy_variance():.5f}")
+    print(f"total transfer : {history.total_bytes()[-1] / 1e6:.2f} MB")
+    if args.out:
+        save_json(args.out, history.to_dict())
+        print(f"history saved  : {args.out}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    methods = [m.strip() for m in args.methods.split(",") if m.strip()]
+    unknown = [m for m in methods if m not in ALGORITHMS]
+    if unknown:
+        print(f"unknown methods: {unknown}", file=sys.stderr)
+        return 2
+    kwargs = _run_kwargs(args)
+    histories = {
+        m: run_experiment(m, args.dataset, scale=args.scale, seed=args.seed, **kwargs)
+        for m in methods
+    }
+    target = args.target_fraction * histories[methods[0]].best_accuracy()
+    rows = []
+    for m, h in histories.items():
+        t = time_to_accuracy(h, target)
+        rows.append(
+            [
+                m,
+                f"{h.best_accuracy():.4f}",
+                f"{h.mean_accuracy_variance():.5f}",
+                "-" if t is None else f"{t:.0f}s",
+                f"{h.total_bytes()[-1] / 1e6:.2f}",
+                h.rounds()[-1],
+            ]
+        )
+    print(f"dataset={args.dataset} scale={args.scale} seed={args.seed} "
+          f"target={target:.3f}\n")
+    print(format_table(
+        ["method", "best acc", "acc var", "t-to-target", "MB", "updates"], rows
+    ))
+    return 0
+
+
+def _cmd_codecs(args: argparse.Namespace) -> int:
+    from repro.compression.codec import (
+        PolylineCodec,
+        QuantizationCodec,
+        SubsampleCodec,
+        TopKCodec,
+        compression_ratio,
+    )
+
+    rng = np.random.default_rng(0)
+    w = rng.normal(0, args.std, size=args.size)
+    rows = []
+    for codec in (
+        PolylineCodec(3), PolylineCodec(4), PolylineCodec(5),
+        QuantizationCodec(8), TopKCodec(0.1), SubsampleCodec(0.25),
+    ):
+        decoded, payload = codec.roundtrip(w)
+        err = float(np.sqrt(np.mean((decoded - w) ** 2)))
+        rows.append(
+            [
+                payload.codec,
+                f"{payload.bytes_per_weight:.2f}",
+                f"{compression_ratio(payload):.2f}x",
+                f"{compression_ratio(payload, reference_bytes=8):.2f}x",
+                f"{err:.2e}",
+            ]
+        )
+    print(format_table(
+        ["codec", "B/weight", "vs float32", "vs float64", "rms error"], rows
+    ))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    from repro.data.datasets import DATASETS
+
+    print("methods :", ", ".join(sorted(ALGORITHMS)))
+    print("datasets:", ", ".join(sorted(DATASETS)))
+    print("scales  : tiny, bench, paper (REPRO_SCALE also honoured by benches)")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "run": _cmd_run,
+        "compare": _cmd_compare,
+        "codecs": _cmd_codecs,
+        "list": _cmd_list,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,37 @@
+"""Model-weight compression (paper §4.3).
+
+FedAT compresses both uplink and downlink traffic with the Google Encoded
+Polyline Algorithm: round to a decimal precision, delta-encode, zigzag, and
+emit base64-style 5-bit ASCII chunks. :mod:`repro.compression.polyline`
+implements the codec vectorized over NumPy arrays;
+:mod:`repro.compression.codec` wraps it behind a common interface together
+with a no-op codec (baselines) and quantization/top-k codecs used by the
+ablation benchmarks.
+"""
+
+from repro.compression.codec import (
+    Codec,
+    NullCodec,
+    Payload,
+    PolylineCodec,
+    QuantizationCodec,
+    SubsampleCodec,
+    TopKCodec,
+    compression_ratio,
+    make_codec,
+)
+from repro.compression.polyline import polyline_decode, polyline_encode
+
+__all__ = [
+    "polyline_encode",
+    "polyline_decode",
+    "Codec",
+    "Payload",
+    "PolylineCodec",
+    "NullCodec",
+    "QuantizationCodec",
+    "SubsampleCodec",
+    "TopKCodec",
+    "compression_ratio",
+    "make_codec",
+]

@@ -1,0 +1,110 @@
+"""Vectorized Google Encoded Polyline codec for float sequences.
+
+The algorithm (developers.google.com/maps/documentation/utilities/
+polylinealgorithm), generalized from lat/lng pairs to arbitrary 1-D float
+sequences exactly as the paper uses it for marshalled model weights:
+
+1. round each value to ``precision`` decimal places and scale to an integer;
+2. delta-encode consecutive integers (weights are locally correlated after
+   rounding, so deltas are small);
+3. zigzag: left-shift one bit, bitwise-invert if negative;
+4. split into 5-bit chunks, little-endian; OR each chunk except the last
+   with 0x20; add 63 → printable ASCII.
+
+Both directions are vectorized — no Python-level loop over values. The
+encoder processes ~1e6 weights in tens of milliseconds, which keeps the
+communication-cost benchmarks honest about *measuring* rather than
+simulating compression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["polyline_encode", "polyline_decode", "MAX_ABS_VALUE"]
+
+# 5-bit chunks; int64 zigzag values must fit in 62 bits to avoid overflow.
+_MAX_CHUNKS = 12
+#: Largest representable |value| at precision ``p`` is MAX_ABS_VALUE / 10**p.
+MAX_ABS_VALUE = float(2**61)
+
+
+def polyline_encode(values: np.ndarray, precision: int = 5) -> str:
+    """Encode a 1-D float array into a polyline ASCII string.
+
+    Raises ``ValueError`` for non-finite input or values too large for the
+    chosen precision (|v| * 10^p must fit in 62 bits).
+    """
+    if not 0 <= precision <= 12:
+        raise ValueError(f"precision must be in [0, 12], got {precision}")
+    values = np.asarray(values, dtype=np.float64).reshape(-1)
+    if values.size == 0:
+        return ""
+    if not np.all(np.isfinite(values)):
+        raise ValueError("polyline_encode requires finite values")
+    scale = 10.0**precision
+    scaled = np.rint(values * scale)
+    if np.any(np.abs(scaled) >= MAX_ABS_VALUE):
+        raise ValueError(
+            f"value too large for precision {precision}: max |v| is "
+            f"{MAX_ABS_VALUE / scale:g}"
+        )
+    ints = scaled.astype(np.int64)
+    deltas = np.empty_like(ints)
+    deltas[0] = ints[0]
+    np.subtract(ints[1:], ints[:-1], out=deltas[1:])
+    # Zigzag: (v << 1) ^ (v >> 63) maps sign into the low bit.
+    zz = (deltas << 1) ^ (deltas >> 63)
+    zz = zz.astype(np.uint64)
+
+    n = zz.size
+    # Size the chunk matrix to the widest value actually present (typical
+    # trained weights need 2-3 chunks, not the 12-chunk worst case).
+    max_chunks = max(1, (int(zz.max()).bit_length() + 4) // 5)
+    # chunk j of each value: bits [5j, 5j+5); emitted while higher bits remain.
+    shifts = (np.arange(max_chunks, dtype=np.uint64) * np.uint64(5))[None, :]
+    expanded = zz[:, None] >> shifts  # (n, max_chunks)
+    chunks = (expanded & np.uint64(0x1F)).astype(np.uint8)
+    has_more = (expanded >> np.uint64(5)) > 0  # continuation flag per chunk
+    valid = np.ones((n, max_chunks), dtype=bool)
+    valid[:, 1:] = expanded[:, 1:] > 0  # chunk 0 always emitted
+    chars = chunks | (has_more.astype(np.uint8) << 5)
+    chars = chars + 63
+    # Row-major flatten keeps per-value chunk order.
+    return chars[valid].tobytes().decode("ascii")
+
+
+def polyline_decode(encoded: str, precision: int = 5) -> np.ndarray:
+    """Decode a polyline string back to a float array.
+
+    Inverse of :func:`polyline_encode` up to the rounding applied at encode
+    time: ``decode(encode(v)) == round(v, precision)`` element-wise.
+    """
+    if not 0 <= precision <= 12:
+        raise ValueError(f"precision must be in [0, 12], got {precision}")
+    if not encoded:
+        return np.empty(0, dtype=np.float64)
+    raw = np.frombuffer(encoded.encode("ascii"), dtype=np.uint8)
+    c = raw.astype(np.int64) - 63
+    if np.any(c < 0) or np.any(c > 63):
+        raise ValueError("invalid polyline character")
+    is_last = (c & 0x20) == 0
+    if not is_last[-1]:
+        raise ValueError("truncated polyline string")
+    # Group id for each chunk: 0-based index of the value it belongs to.
+    group = np.zeros(c.size, dtype=np.int64)
+    group[1:] = np.cumsum(is_last[:-1])
+    n_values = int(group[-1]) + 1
+    # Position of each chunk within its group.
+    group_start = np.zeros(n_values, dtype=np.int64)
+    group_start[1:] = np.flatnonzero(is_last)[:-1] + 1
+    offset = np.arange(c.size, dtype=np.int64) - group_start[group]
+    if np.any(offset >= _MAX_CHUNKS):
+        raise ValueError("polyline chunk run too long")
+    contrib = (c & 0x1F).astype(np.uint64) << (offset.astype(np.uint64) * np.uint64(5))
+    zz = np.zeros(n_values, dtype=np.uint64)
+    np.add.at(zz, group, contrib)
+    zz_signed = zz.astype(np.int64)
+    deltas = (zz_signed >> 1) ^ -(zz_signed & 1)
+    ints = np.cumsum(deltas)
+    return ints / (10.0**precision)

@@ -1,0 +1,29 @@
+"""FedAT core: cross-tier weighted aggregation and the tiered async server.
+
+This package implements the paper's primary contribution (Algorithm 2):
+synchronous intra-tier training, asynchronous cross-tier global updates,
+the ``T_{tier(M+1−m)}/T`` weighted-aggregation heuristic, and polyline
+compression on both link directions.
+"""
+
+from repro.core.aggregation import (
+    cross_tier_weights,
+    sample_weighted_average,
+    uniform_tier_weights,
+    weighted_average,
+)
+from repro.core.config import FLConfig
+from repro.core.base import FLSystem
+from repro.core.fedat import FedAT
+from repro.core.server import TieredServer
+
+__all__ = [
+    "weighted_average",
+    "sample_weighted_average",
+    "cross_tier_weights",
+    "uniform_tier_weights",
+    "FLConfig",
+    "FLSystem",
+    "TieredServer",
+    "FedAT",
+]

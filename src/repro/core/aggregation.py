@@ -1,0 +1,81 @@
+"""Aggregation rules.
+
+Two levels, mirroring the paper:
+
+- **intra-tier** (synchronous): FedAvg-style sample-count weighting,
+  ``w_tier = Σ_k (n_k / N_c) w_k`` over the selected clients (Algorithm 2's
+  inner loop);
+- **cross-tier** (asynchronous): the weighted-average heuristic of §4.2 —
+  tier ``m`` (1-indexed) receives weight ``T_{tier(M+1−m)} / T`` where
+  ``T_tier_j`` counts tier ``j``'s global updates so far. The mirror-image
+  indexing gives slow tiers the (large) update counts of fast tiers,
+  steering the global model away from fast-tier bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "weighted_average",
+    "sample_weighted_average",
+    "cross_tier_weights",
+    "uniform_tier_weights",
+]
+
+
+def weighted_average(vectors: list[np.ndarray], weights: np.ndarray) -> np.ndarray:
+    """``Σ_i weights[i] · vectors[i]`` with validation.
+
+    Weights must be non-negative and sum to 1 (within tolerance).
+    """
+    if not vectors:
+        raise ValueError("need at least one vector")
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size != len(vectors):
+        raise ValueError(f"{len(vectors)} vectors but {weights.size} weights")
+    if np.any(weights < 0):
+        raise ValueError("weights must be non-negative")
+    total = float(weights.sum())
+    if not np.isclose(total, 1.0, atol=1e-8):
+        raise ValueError(f"weights must sum to 1, got {total}")
+    stacked = np.stack([np.asarray(v, dtype=np.float64) for v in vectors])
+    return weights @ stacked
+
+
+def sample_weighted_average(
+    vectors: list[np.ndarray], n_samples: list[int]
+) -> np.ndarray:
+    """FedAvg weighting by client sample counts ``n_k / N_c``."""
+    counts = np.asarray(n_samples, dtype=np.float64)
+    if np.any(counts <= 0):
+        raise ValueError("sample counts must be positive")
+    return weighted_average(vectors, counts / counts.sum())
+
+
+def cross_tier_weights(update_counts: np.ndarray) -> np.ndarray | None:
+    """The §4.2 heuristic: tier ``m``'s weight is the *mirror* tier's share.
+
+    ``update_counts[m]`` is ``T_tier(m+1)`` (0-indexed tiers, tier 0
+    fastest). Returns the weight vector, or ``None`` when no tier has
+    updated yet (Algorithm 2 returns the initial model in that case).
+
+    >>> cross_tier_weights(np.array([3, 1, 0]))            # doctest: +SKIP
+    array([0.  , 0.25, 0.75])   # fast tier gets slowest tier's share
+    """
+    counts = np.asarray(update_counts, dtype=np.float64)
+    if counts.ndim != 1:
+        raise ValueError("update_counts must be 1-D")
+    if np.any(counts < 0):
+        raise ValueError("update counts must be non-negative")
+    total = counts.sum()
+    if total == 0:
+        return None
+    return counts[::-1] / total
+
+
+def uniform_tier_weights(num_tiers: int) -> np.ndarray:
+    """The Fig-6 ablation baseline: equal weight per tier."""
+    if num_tiers <= 0:
+        raise ValueError("num_tiers must be positive")
+    return np.full(num_tiers, 1.0 / num_tiers)

@@ -1,0 +1,298 @@
+"""Shared FL-system scaffolding.
+
+:class:`FLSystem` wires together every substrate — dataset, NN worker
+model, latency environment, failure injection, network metering, codecs,
+and evaluation — so each algorithm (FedAT and the five baselines) only
+implements its scheduling/aggregation policy.
+
+Fairness-by-construction: the *environment* RNG streams (delay-band
+assignment, dropout schedule, latency draws) are named independently of the
+algorithm, so every method compared under one seed faces the same cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.compression.codec import Codec, NullCodec, make_codec
+from repro.core.config import FLConfig
+from repro.data.federated import FederatedDataset
+from repro.metrics.evaluation import Evaluator
+from repro.metrics.history import EvalRecord, RunHistory
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.sim.client import LocalTrainingResult, SimClient
+from repro.sim.failures import UnstableClientPolicy
+from repro.sim.latency import ComputeModel, ResponseLatencyModel, TierDelayModel
+from repro.sim.network import NetworkMeter
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["FLSystem", "SyncFLSystem"]
+
+ModelBuilder = Callable[[np.random.Generator], Sequential]
+
+
+class FLSystem:
+    """Base class for all federated-learning systems in this library.
+
+    Subclasses set :attr:`name`, optionally :attr:`uses_compression`, and
+    implement :meth:`run`.
+    """
+
+    name = "base"
+    #: Only FedAT compresses traffic by default; baselines ship raw float32.
+    uses_compression = False
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model_builder: ModelBuilder,
+        config: FLConfig,
+        *,
+        delay_model: TierDelayModel | None = None,
+    ):
+        self.dataset = dataset
+        self.config = config
+        self.factory = SeedSequenceFactory(config.seed)
+
+        # Single shared worker model (the event loop serializes training).
+        self.worker = model_builder(self.factory.rng("model/init"))
+        self.initial_flat = self.worker.get_flat_weights()
+        self.evaluator = Evaluator(dataset, self.worker)
+        self.loss = SoftmaxCrossEntropy()
+
+        # Environment: identical across methods for a given seed.
+        env_rng = self.factory.rng("env/delays")
+        if delay_model is None:
+            delay_model = TierDelayModel.even_split(dataset.num_clients, env_rng)
+        if delay_model.num_clients != dataset.num_clients:
+            raise ValueError("delay model does not cover the client population")
+        self.delay_model = delay_model
+        latency_model = ResponseLatencyModel(
+            delays=delay_model,
+            compute=ComputeModel(config.compute_per_sample, config.compute_base),
+            bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
+        )
+        self.latency_model = latency_model
+        self.clients = [
+            SimClient(c, latency_model, batch_size=config.batch_size, seed=config.seed)
+            for c in dataset.clients
+        ]
+        self.failures = UnstableClientPolicy(
+            dataset.num_clients,
+            self.factory.rng("env/failures"),
+            num_unstable=config.num_unstable,
+            horizon=config.dropout_horizon,
+        )
+        self.meter = NetworkMeter()
+        codec = make_codec(config.compression) if self.uses_compression else NullCodec()
+        self.codec: Codec = codec
+
+        self.history = RunHistory(
+            method=self.name,
+            dataset=dataset.name,
+            meta={
+                "seed": config.seed,
+                "clients": dataset.num_clients,
+                "clients_per_round": config.clients_per_round,
+                "local_epochs": config.local_epochs,
+                "compression": config.compression if self.uses_compression else None,
+            },
+        )
+        self._latency_rng = self.factory.rng("env/latency")
+        self._select_rng = self.factory.rng(f"algo/{self.name}/selection")
+        self.global_weights = self.initial_flat.copy()
+        self.round = 0  # global update counter (t in Algorithm 2)
+        self.now = 0.0
+
+    # ------------------------------------------------------------------ #
+    # Building blocks
+    # ------------------------------------------------------------------ #
+    def optimizer_factory(self) -> Callable[[], Optimizer]:
+        cfg = self.config
+        if cfg.optimizer == "adam":
+            return lambda: Adam(cfg.learning_rate)
+        return lambda: SGD(cfg.learning_rate)
+
+    def send_down(self, flat: np.ndarray, n_receivers: int = 1) -> np.ndarray:
+        """Server→client transfer: encode once, charge each receiver, return
+        the (possibly lossy) weights the clients actually start from."""
+        payload = self.codec.encode(flat)
+        for _ in range(n_receivers):
+            self.meter.record_download(payload.nbytes)
+        # Remember the wire size so sampled latencies can include transfer
+        # time under a finite-bandwidth model (uplink ≈ downlink size).
+        self._last_payload_nbytes = payload.nbytes
+        return self.codec.decode(payload)
+
+    def send_up(self, flat: np.ndarray) -> np.ndarray:
+        """Client→server transfer: returns what the server decodes."""
+        payload = self.codec.encode(flat)
+        self.meter.record_upload(payload.nbytes)
+        return self.codec.decode(payload)
+
+    def alive(self, client_ids, at_time: float | None = None) -> list[int]:
+        """Clients still participating at a given virtual time."""
+        t = self.now if at_time is None else at_time
+        return self.failures.alive_clients(client_ids, t)
+
+    def select_clients(self, pool: list[int], k: int) -> list[int]:
+        """Random sample of ``min(k, |pool|)`` clients without replacement."""
+        if not pool:
+            return []
+        k = min(k, len(pool))
+        return sorted(
+            self._select_rng.choice(np.asarray(pool), size=k, replace=False).tolist()
+        )
+
+    def sample_latency(self, client_id: int, epochs: int | None = None) -> float:
+        epochs = self.config.local_epochs if epochs is None else epochs
+        # Round trip moves the model down and back up; both transfers count
+        # against a finite-bandwidth link (no-op when bandwidth is None).
+        payload = 2 * getattr(self, "_last_payload_nbytes", 0)
+        return self.clients[client_id].sample_latency(
+            epochs, self._latency_rng, payload_bytes=payload
+        )
+
+    def train_client(
+        self,
+        client_id: int,
+        start_weights: np.ndarray,
+        latency: float,
+        *,
+        epochs: int | None = None,
+        lam: float | None = None,
+    ) -> LocalTrainingResult:
+        """Run one client's local round from ``start_weights``."""
+        cfg = self.config
+        return self.clients[client_id].local_train(
+            self.worker,
+            start_weights,
+            epochs=cfg.local_epochs if epochs is None else epochs,
+            loss=self.loss,
+            optimizer_factory=self.optimizer_factory(),
+            lam=cfg.lam if lam is None else lam,
+            latency=latency,
+        )
+
+    def build_tiering(self):
+        """Profile clients and split them into ``num_tiers`` latency tiers.
+
+        Shared by FedAT and TiFL (the paper adopts TiFL's tiering approach
+        for both). Profiling uses an environment-named RNG stream so both
+        methods recover the same tiers under one seed.
+        """
+        from repro.tiering.profiler import LatencyProfiler
+        from repro.tiering.tiers import Tiering
+
+        profiler = LatencyProfiler(
+            epochs=self.config.local_epochs,
+            probe_rounds=self.config.profiler_probe_rounds,
+            misprofile_fraction=self.config.misprofile_fraction,
+        )
+        latencies = profiler.profile(self.clients, self.factory.rng("env/profile"))
+        return Tiering.from_latencies(latencies, self.config.num_tiers)
+
+    # ------------------------------------------------------------------ #
+    # Evaluation / bookkeeping
+    # ------------------------------------------------------------------ #
+    def record_eval(self) -> EvalRecord:
+        """Evaluate the current global model and append to the history."""
+        stats = self.evaluator.evaluate_flat(self.global_weights)
+        rec = EvalRecord(
+            time=self.now,
+            round=self.round,
+            accuracy=stats["accuracy"],
+            loss=stats["loss"],
+            accuracy_variance=stats["accuracy_variance"],
+            uplink_bytes=self.meter.uplink_bytes,
+            downlink_bytes=self.meter.downlink_bytes,
+        )
+        self.history.append(rec)
+        return rec
+
+    def _eval_due(self) -> bool:
+        return self.round % self.config.eval_every == 0
+
+    def budget_exhausted(self) -> bool:
+        cfg = self.config
+        if self.round >= cfg.max_rounds:
+            return True
+        return cfg.max_time is not None and self.now >= cfg.max_time
+
+    # ------------------------------------------------------------------ #
+    def run(self) -> RunHistory:
+        raise NotImplementedError
+
+
+class SyncFLSystem(FLSystem):
+    """Round-based synchronous FL loop (FedAvg family).
+
+    Per round: choose a cohort, push the global model down, wait for the
+    slowest selected client (stragglers hurt here — that is the point),
+    drop clients that fail mid-round, aggregate the responders.
+
+    Subclass hooks: :meth:`choose_cohort`, :meth:`aggregate`,
+    :meth:`client_epochs`, :meth:`client_lambda`, :meth:`on_round_end`.
+    """
+
+    name = "sync-base"
+
+    def choose_cohort(self) -> list[int]:
+        pool = self.alive(range(self.dataset.num_clients))
+        return self.select_clients(pool, self.config.clients_per_round)
+
+    def client_epochs(self, client_id: int) -> int:
+        return self.config.local_epochs
+
+    def client_lambda(self, client_id: int) -> float:
+        return 0.0  # FedAvg has no proximal term
+
+    def aggregate(self, results: list[LocalTrainingResult]) -> None:
+        from repro.core.aggregation import sample_weighted_average
+
+        self.global_weights = sample_weighted_average(
+            [r.weights for r in results], [r.n_samples for r in results]
+        )
+
+    def on_round_end(self) -> None:
+        """Hook for subclasses (e.g. TiFL credit/probability refresh)."""
+
+    def run(self) -> RunHistory:
+        self.record_eval()  # round-0 baseline point
+        while not self.budget_exhausted():
+            cohort = self.choose_cohort()
+            if not cohort:
+                break  # every client dropped out
+            start = self.now
+            received = self.send_down(self.global_weights, n_receivers=len(cohort))
+            results: list[LocalTrainingResult] = []
+            round_end = start
+            for cid in cohort:
+                latency = self.sample_latency(cid, self.client_epochs(cid))
+                finish = start + latency
+                round_end = max(round_end, finish)
+                if not self.failures.will_complete(cid, start, finish):
+                    continue  # client dropped mid-round; server hears nothing
+                res = self.train_client(
+                    cid,
+                    received,
+                    latency,
+                    epochs=self.client_epochs(cid),
+                    lam=self.client_lambda(cid),
+                )
+                res.weights = self.send_up(res.weights)
+                results.append(res)
+            self.now = round_end
+            if results:
+                self.aggregate(results)
+            self.round += 1
+            self.on_round_end()
+            if self._eval_due():
+                self.record_eval()
+        if not self.history.records or self.history.records[-1].round != self.round:
+            self.record_eval()
+        return self.history

@@ -1,0 +1,102 @@
+"""Algorithm-level configuration shared by FedAT and all baselines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+__all__ = ["FLConfig"]
+
+
+@dataclass(frozen=True)
+class FLConfig:
+    """Hyperparameters of one FL run (paper §6 defaults).
+
+    ``max_rounds`` counts *global updates* — the ``t`` of Algorithm 2. For
+    synchronous methods one round is one server aggregation over
+    ``clients_per_round`` clients; for FedAT each tier aggregation counts;
+    for FedAsync/ASO-Fed each single-client update counts (the experiment
+    harness scales the budget accordingly). ``max_time`` is a virtual-time
+    cutoff applied uniformly across methods for time-axis figures.
+    """
+
+    # --- client-side training -------------------------------------------- #
+    clients_per_round: int = 10
+    local_epochs: int = 3
+    batch_size: int = 10
+    learning_rate: float = 0.005
+    optimizer: str = "adam"  # "adam" | "sgd"
+    lam: float = 0.4  # proximal constraint λ (FedAT §4.1, FedProx)
+
+    # --- tiering ----------------------------------------------------------#
+    num_tiers: int = 5
+    profiler_probe_rounds: int = 1
+    misprofile_fraction: float = 0.0
+
+    # --- run budget -------------------------------------------------------#
+    max_rounds: int = 200
+    max_time: float | None = None
+    eval_every: int = 5
+
+    # --- environment ------------------------------------------------------#
+    seed: int = 0
+    num_unstable: int = 10
+    dropout_horizon: float = 2000.0
+    compute_per_sample: float = 0.04
+    compute_base: float = 0.5
+    bandwidth_bytes_per_s: float | None = None
+
+    # --- communication ----------------------------------------------------#
+    compression: str | None = "polyline:4"  # FedAT default; None => float32
+
+    # --- FedAT server -----------------------------------------------------#
+    server_weighting: str = "dynamic"  # "dynamic" (§4.2) | "uniform" (Fig 6)
+
+    # --- FedAsync ---------------------------------------------------------#
+    # The paper describes its FedAsync baseline as plain weighted averaging
+    # of the incoming client model with the current global model — i.e. no
+    # staleness adaptation — and observes the resulting oscillation under
+    # non-IID data. "poly"/"hinge" (the FedAsync paper's adaptive variants)
+    # are kept for the staleness ablation bench.
+    fedasync_alpha: float = 0.6
+    fedasync_staleness: str = "constant"  # "constant" | "poly" | "hinge"
+    fedasync_a: float = 0.5
+
+    # --- TiFL --------------------------------------------------------------#
+    tifl_interval: int = 20  # rounds between tier-accuracy refreshes
+    tifl_credit_slack: float = 1.5
+
+    extra: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.clients_per_round < 1:
+            raise ValueError("clients_per_round must be >= 1")
+        if self.local_epochs < 1:
+            raise ValueError("local_epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if self.lam < 0:
+            raise ValueError("lam must be non-negative")
+        if self.num_tiers < 1:
+            raise ValueError("num_tiers must be >= 1")
+        if self.max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        if self.eval_every < 1:
+            raise ValueError("eval_every must be >= 1")
+        if self.optimizer not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.server_weighting not in ("dynamic", "uniform"):
+            raise ValueError(f"unknown server_weighting {self.server_weighting!r}")
+        if self.fedasync_staleness not in ("constant", "poly", "hinge"):
+            raise ValueError(f"unknown staleness {self.fedasync_staleness!r}")
+        if self.compression is not None:
+            kind, _, arg = self.compression.partition(":")
+            if kind not in ("polyline", "quant", "topk", "subsample"):
+                raise ValueError(f"unknown compression {self.compression!r}")
+            if kind == "polyline" and arg and not arg.isdigit():
+                raise ValueError(f"bad polyline precision {arg!r}")
+
+    def with_(self, **kwargs) -> "FLConfig":
+        """Return a copy with fields replaced."""
+        return replace(self, **kwargs)

@@ -1,0 +1,72 @@
+"""FedAT server state: per-tier models, update counts, global model."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregation import (
+    cross_tier_weights,
+    uniform_tier_weights,
+    weighted_average,
+)
+
+__all__ = ["TieredServer"]
+
+
+class TieredServer:
+    """Maintains ``{w_tier_1 … w_tier_M}`` and the asynchronously updated
+    global model ``w`` (paper §4, Algorithm 2).
+
+    Every tier model starts at ``w_t0``. Each :meth:`submit_tier_update`
+    installs a tier's fresh synchronous aggregate, bumps its update count
+    ``T_tier_m``, and recomputes the global model with the §4.2 heuristic
+    (or uniform weights, for the Fig 6 ablation).
+    """
+
+    def __init__(
+        self,
+        initial_weights: np.ndarray,
+        num_tiers: int,
+        *,
+        weighting: str = "dynamic",
+    ):
+        if num_tiers < 1:
+            raise ValueError("num_tiers must be >= 1")
+        if weighting not in ("dynamic", "uniform"):
+            raise ValueError(f"unknown weighting {weighting!r}")
+        self._initial = np.array(initial_weights, dtype=np.float64, copy=True)
+        self.num_tiers = num_tiers
+        self.weighting = weighting
+        self.tier_models: list[np.ndarray] = [
+            self._initial.copy() for _ in range(num_tiers)
+        ]
+        self.update_counts = np.zeros(num_tiers, dtype=np.int64)
+        self.global_weights = self._initial.copy()
+
+    @property
+    def total_updates(self) -> int:
+        """``T`` — the global round counter of Algorithm 2."""
+        return int(self.update_counts.sum())
+
+    def tier_weight_vector(self) -> np.ndarray | None:
+        """Current aggregation weights per tier (None before any update)."""
+        if self.weighting == "uniform":
+            return uniform_tier_weights(self.num_tiers)
+        return cross_tier_weights(self.update_counts)
+
+    def submit_tier_update(self, tier: int, tier_model: np.ndarray) -> np.ndarray:
+        """Install tier ``tier``'s new synchronous aggregate; return the new
+        global model."""
+        if not 0 <= tier < self.num_tiers:
+            raise IndexError(f"tier {tier} out of range [0, {self.num_tiers})")
+        tier_model = np.asarray(tier_model, dtype=np.float64)
+        if tier_model.shape != self._initial.shape:
+            raise ValueError("tier model has wrong shape")
+        self.tier_models[tier] = tier_model.copy()
+        self.update_counts[tier] += 1
+        weights = self.tier_weight_vector()
+        if weights is None:  # unreachable after the first submit; kept for safety
+            self.global_weights = self._initial.copy()
+        else:
+            self.global_weights = weighted_average(self.tier_models, weights)
+        return self.global_weights

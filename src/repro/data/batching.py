@@ -1,0 +1,55 @@
+"""Fixed pseudo-random mini-batch schedules.
+
+Paper §6: "each client, once selected, would follow a fixed, pseudo-random
+mini-batch schedule" so that every FL method sees identical batch orderings —
+fairness across compared methods. The schedule is a deterministic function of
+``(seed, client_id, epoch_index)``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["FixedBatchSchedule"]
+
+
+class FixedBatchSchedule:
+    """Deterministic epoch-wise batch index generator for one client."""
+
+    def __init__(self, n_samples: int, batch_size: int, client_id: int, seed: int):
+        if n_samples <= 0:
+            raise ValueError("n_samples must be positive")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        self.n = n_samples
+        self.batch_size = min(batch_size, n_samples)
+        self.client_id = client_id
+        self._factory = SeedSequenceFactory(seed)
+        self._epoch = 0
+
+    @property
+    def epochs_consumed(self) -> int:
+        return self._epoch
+
+    def reset(self) -> None:
+        """Rewind to epoch 0 (schedules replay identically after reset)."""
+        self._epoch = 0
+
+    def epoch_order(self, epoch: int) -> np.ndarray:
+        """The fixed permutation for a given epoch index."""
+        rng = self._factory.rng(f"client/{self.client_id}/epoch/{epoch}")
+        return rng.permutation(self.n)
+
+    def next_epoch(self) -> Iterator[np.ndarray]:
+        """Yield batch index arrays for the next epoch in the schedule."""
+        order = self.epoch_order(self._epoch)
+        self._epoch += 1
+        for start in range(0, self.n, self.batch_size):
+            yield order[start : start + self.batch_size]
+
+    def batches_per_epoch(self) -> int:
+        return int(np.ceil(self.n / self.batch_size))

@@ -1,0 +1,164 @@
+"""Experiment runner: builds a federation, runs one method, caches results.
+
+Several figures/tables derive from the *same* runs (Table 1, Table 2,
+Figs 2–4 all read the per-method training histories on the 2-class
+non-IID datasets), so the runner memoizes histories in-process and on disk
+under ``.bench_cache/`` keyed by a hash of all run parameters.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.baselines import ASOFed, FedAsync, FedAvg, FedProx, TiFL
+from repro.core.fedat import FedAT
+from repro.data.datasets import make_dataset
+from repro.experiments.config import SCALES, build_model_builder, make_fl_config
+from repro.metrics.history import RunHistory
+from repro.sim.latency import PAPER_DELAY_BANDS, TierDelayModel
+from repro.utils.rng import SeedSequenceFactory
+from repro.utils.serialization import load_json, save_json
+
+__all__ = [
+    "ALGORITHMS",
+    "build_federation",
+    "run_experiment",
+    "run_cached",
+    "clear_cache",
+]
+
+ALGORITHMS = {
+    "fedat": FedAT,
+    "fedavg": FedAvg,
+    "fedprox": FedProx,
+    "tifl": TiFL,
+    "fedasync": FedAsync,
+    "asofed": ASOFed,
+}
+
+_MEMORY_CACHE: dict[str, RunHistory] = {}
+_CACHE_DIR = Path(".bench_cache")
+
+
+def build_federation(
+    dataset_name: str,
+    scale: str = "bench",
+    seed: int = 0,
+    *,
+    num_clients: int | None = None,
+    classes_per_client: int | None | str = "default",
+    **dataset_overrides,
+):
+    """Build the synthetic federation for one experiment.
+
+    The data RNG stream is named by (dataset, seed) only — never by method —
+    so all compared methods train on the identical federation.
+    """
+    preset = SCALES[scale]
+    factory = SeedSequenceFactory(seed)
+    rng = factory.rng(f"data/{dataset_name}")
+    overrides = dict(dataset_overrides)
+    overrides.setdefault(
+        "num_clients",
+        num_clients
+        if num_clients is not None
+        else (
+            preset.large_num_clients
+            if dataset_name in ("femnist", "reddit")
+            else preset.num_clients
+        ),
+    )
+    overrides.setdefault("samples_per_client", preset.samples_per_client)
+    if dataset_name in ("cifar10", "fashion_mnist", "femnist"):
+        c = 3 if dataset_name == "cifar10" else 1
+        overrides.setdefault("image_shape", (preset.image_hw, preset.image_hw, c))
+    if classes_per_client != "default":
+        overrides["classes_per_client"] = classes_per_client
+        # k-class overrides replace the dataset's default partitioner.
+        if classes_per_client is not None:
+            overrides.setdefault("dirichlet_alpha", None)
+    return make_dataset(dataset_name, rng, **overrides)
+
+
+def run_experiment(
+    method: str,
+    dataset_name: str,
+    *,
+    scale: str = "bench",
+    seed: int = 0,
+    classes_per_client: int | None | str = "default",
+    num_clients: int | None = None,
+    delay_counts: list[int] | None = None,
+    dataset_overrides: dict | None = None,
+    **fl_overrides,
+) -> RunHistory:
+    """Run one (method, dataset) experiment and return its history."""
+    if method not in ALGORITHMS:
+        raise KeyError(f"unknown method {method!r}; options: {sorted(ALGORITHMS)}")
+    dataset = build_federation(
+        dataset_name,
+        scale,
+        seed,
+        num_clients=num_clients,
+        classes_per_client=classes_per_client,
+        **(dataset_overrides or {}),
+    )
+    config = make_fl_config(method, scale, seed, **fl_overrides)
+    builder = build_model_builder(dataset, scale)
+    delay_model = None
+    if delay_counts is not None:
+        env_rng = SeedSequenceFactory(seed).rng("env/delays")
+        delay_model = TierDelayModel.from_counts(
+            delay_counts, env_rng, PAPER_DELAY_BANDS
+        )
+    system = ALGORITHMS[method](dataset, builder, config, delay_model=delay_model)
+    history = system.run()
+    history.meta.update(
+        {
+            "scale": scale,
+            "classes_per_client": (
+                None if classes_per_client == "default" else classes_per_client
+            ),
+        }
+    )
+    return history
+
+
+def _cache_key(kwargs: dict) -> str:
+    blob = json.dumps(kwargs, sort_keys=True, default=str)
+    return hashlib.sha256(blob.encode()).hexdigest()[:20]
+
+
+def run_cached(method: str, dataset_name: str, **kwargs) -> RunHistory:
+    """Memoized :func:`run_experiment` (in-process and ``.bench_cache/``).
+
+    Benchmarks for different tables/figures share runs through this cache;
+    delete ``.bench_cache/`` (or call :func:`clear_cache`) to force re-runs.
+    """
+    key = _cache_key({"method": method, "dataset": dataset_name, **kwargs})
+    if key in _MEMORY_CACHE:
+        return _MEMORY_CACHE[key]
+    path = _CACHE_DIR / f"{key}.json"
+    if path.exists():
+        history = RunHistory.from_dict(load_json(path))
+        _MEMORY_CACHE[key] = history
+        return history
+    history = run_experiment(method, dataset_name, **kwargs)
+    _MEMORY_CACHE[key] = history
+    try:
+        save_json(path, history.to_dict())
+    except OSError:  # read-only checkout: in-memory cache still works
+        pass
+    return history
+
+
+def clear_cache() -> None:
+    """Drop both cache layers."""
+    _MEMORY_CACHE.clear()
+    if _CACHE_DIR.exists():
+        for p in _CACHE_DIR.glob("*.json"):
+            p.unlink()

@@ -1,0 +1,65 @@
+"""Global-model evaluation over the federation's client test shards.
+
+The paper reports (a) test accuracy of the global model over all clients'
+held-out data and (b) the *variance of per-client test accuracies* —
+Definition 3.1's balance criterion. Both come from a single batched forward
+pass here: client shards are concatenated once at construction and split by
+cached boundaries afterwards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.federated import FederatedDataset
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+
+__all__ = ["Evaluator"]
+
+
+class Evaluator:
+    """Evaluates flat weight vectors against the federation test set."""
+
+    def __init__(
+        self,
+        dataset: FederatedDataset,
+        model: Sequential,
+        *,
+        max_test_per_client: int | None = None,
+    ):
+        self._model = model
+        xs, ys, bounds = [], [], [0]
+        for c in dataset.clients:
+            x, y = c.x_test, c.y_test
+            if max_test_per_client is not None and x.shape[0] > max_test_per_client:
+                x, y = x[:max_test_per_client], y[:max_test_per_client]
+            xs.append(x)
+            ys.append(y)
+            bounds.append(bounds[-1] + x.shape[0])
+        self._x = np.concatenate(xs, axis=0)
+        self._y = np.concatenate(ys, axis=0)
+        self._bounds = np.array(bounds)
+        self._loss = SoftmaxCrossEntropy()
+
+    @property
+    def num_samples(self) -> int:
+        return int(self._x.shape[0])
+
+    def evaluate_flat(self, flat_weights: np.ndarray) -> dict[str, float]:
+        """Accuracy, loss, and per-client accuracy variance for ``flat_weights``."""
+        self._model.set_flat_weights(flat_weights)
+        logits = self._model.predict(self._x)
+        pred = np.argmax(logits, axis=-1)
+        correct = (pred == self._y).astype(np.float64)
+        loss = self._loss.forward(logits, self._y)
+        per_client = [
+            correct[a:b].mean()
+            for a, b in zip(self._bounds[:-1], self._bounds[1:])
+            if b > a
+        ]
+        return {
+            "accuracy": float(correct.mean()),
+            "loss": float(loss),
+            "accuracy_variance": float(np.var(per_client)),
+        }

@@ -1,0 +1,76 @@
+"""Derived statistics and plain-text table formatting for benches.
+
+``time_to_accuracy`` reproduces the bar charts at the bottom of Fig 2;
+``bytes_to_accuracy`` reproduces Table 2 and Fig 4; ``smooth_series``
+applies the paper's "averaged every 40 global rounds" smoothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.metrics.history import RunHistory
+
+__all__ = [
+    "time_to_accuracy",
+    "bytes_to_accuracy",
+    "smooth_series",
+    "format_table",
+]
+
+
+def time_to_accuracy(history: RunHistory, target: float) -> float | None:
+    """First virtual time at which test accuracy reaches ``target``.
+
+    Returns ``None`` if the run never reaches the target (Fig 2 omits such
+    methods from the bar chart; Table 2 prints "–").
+    """
+    acc = history.accuracies()
+    times = history.times()
+    hit = np.flatnonzero(acc >= target)
+    return float(times[hit[0]]) if hit.size else None
+
+
+def bytes_to_accuracy(history: RunHistory, target: float) -> float | None:
+    """Total transferred bytes when accuracy first reaches ``target``."""
+    acc = history.accuracies()
+    hit = np.flatnonzero(acc >= target)
+    if not hit.size:
+        return None
+    return float(history.total_bytes()[hit[0]])
+
+
+def smooth_series(values: np.ndarray, window: int = 5) -> np.ndarray:
+    """Trailing moving average (the paper smooths over 40 global rounds)."""
+    values = np.asarray(values, dtype=float)
+    if window <= 1 or values.size == 0:
+        return values.copy()
+    kernel = np.ones(min(window, values.size))
+    sums = np.convolve(values, kernel, mode="full")[: values.size]
+    counts = np.minimum(np.arange(1, values.size + 1), kernel.size)
+    return sums / counts
+
+
+def format_table(
+    headers: list[str], rows: list[list[object]], *, float_fmt: str = "{:.4f}"
+) -> str:
+    """Render an aligned plain-text table (benchmark stdout artifacts)."""
+
+    def fmt(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        if cell is None:
+            return "-"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = " | ".join(h.ljust(w) for h, w in zip(headers, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    body = "\n".join(
+        " | ".join(c.ljust(w) for c, w in zip(row, widths)) for row in str_rows
+    )
+    return f"{line}\n{sep}\n{body}" if body else f"{line}\n{sep}"

@@ -1,0 +1,76 @@
+"""Straggler-robustness comparison (paper Definition 3.1).
+
+Model ``w`` is *more robust against straggling clients* than ``w'`` when:
+(1) it converges faster, (2) its per-client test accuracy variance is
+lower, and (3) its prediction accuracy is higher. This module scores two
+run histories on all three criteria.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.metrics.history import RunHistory
+from repro.metrics.report import time_to_accuracy
+
+__all__ = ["RobustnessReport", "compare_robustness"]
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Pairwise robustness verdict for methods A vs B."""
+
+    method_a: str
+    method_b: str
+    target_accuracy: float
+    time_a: float | None
+    time_b: float | None
+    variance_a: float
+    variance_b: float
+    accuracy_a: float
+    accuracy_b: float
+
+    @property
+    def a_converges_faster(self) -> bool:
+        if self.time_a is None:
+            return False
+        if self.time_b is None:
+            return True
+        return self.time_a < self.time_b
+
+    @property
+    def a_lower_variance(self) -> bool:
+        return self.variance_a < self.variance_b
+
+    @property
+    def a_higher_accuracy(self) -> bool:
+        return self.accuracy_a > self.accuracy_b
+
+    @property
+    def a_more_robust(self) -> bool:
+        """All three Definition 3.1 criteria hold for A over B."""
+        return self.a_converges_faster and self.a_lower_variance and self.a_higher_accuracy
+
+    def criteria(self) -> dict[str, bool]:
+        return {
+            "converges_faster": self.a_converges_faster,
+            "lower_variance": self.a_lower_variance,
+            "higher_accuracy": self.a_higher_accuracy,
+        }
+
+
+def compare_robustness(
+    a: RunHistory, b: RunHistory, target_accuracy: float
+) -> RobustnessReport:
+    """Score Definition 3.1's three criteria for run ``a`` versus run ``b``."""
+    return RobustnessReport(
+        method_a=a.method,
+        method_b=b.method,
+        target_accuracy=target_accuracy,
+        time_a=time_to_accuracy(a, target_accuracy),
+        time_b=time_to_accuracy(b, target_accuracy),
+        variance_a=a.mean_accuracy_variance(),
+        variance_b=b.mean_accuracy_variance(),
+        accuracy_a=a.best_accuracy(),
+        accuracy_b=b.best_accuracy(),
+    )

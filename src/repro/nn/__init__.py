@@ -1,0 +1,73 @@
+"""From-scratch, vectorized NumPy neural-network substrate.
+
+The paper trains TensorFlow models; offline we provide an equivalent
+substrate: layers with explicit forward/backward passes, SGD/Adam
+optimizers, and a ``Sequential`` container whose weights can be flattened to
+a single vector — the representation every FL aggregation and compression
+component in this library operates on.
+
+Shapes follow the NHWC convention for images: ``(batch, height, width,
+channels)``. Token inputs are integer arrays ``(batch, time)``.
+"""
+
+from repro.nn.activations import ReLU, Sigmoid, Softmax, Tanh
+from repro.nn.conv import Conv2D
+from repro.nn.gru import GRU
+from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten
+from repro.nn.losses import MSELoss, SoftmaxCrossEntropy
+from repro.nn.model import Sequential, WeightSpec
+from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.pooling import GlobalAveragePool, MaxPool2D
+from repro.nn.schedules import (
+    ClippedOptimizer,
+    constant_lr,
+    exponential_decay,
+    inverse_time_decay,
+    step_decay,
+)
+from repro.nn.proximal import ProximalTerm
+from repro.nn.recurrent import LSTM, Embedding
+from repro.nn.tensor import Parameter
+from repro.nn.zoo import (
+    build_cnn,
+    build_femnist_cnn,
+    build_logistic,
+    build_lstm_classifier,
+    build_mlp,
+)
+
+__all__ = [
+    "Parameter",
+    "Dense",
+    "Flatten",
+    "Dropout",
+    "BatchNorm",
+    "Conv2D",
+    "MaxPool2D",
+    "GlobalAveragePool",
+    "Embedding",
+    "LSTM",
+    "GRU",
+    "ClippedOptimizer",
+    "constant_lr",
+    "step_decay",
+    "exponential_decay",
+    "inverse_time_decay",
+    "ReLU",
+    "Tanh",
+    "Sigmoid",
+    "Softmax",
+    "SoftmaxCrossEntropy",
+    "MSELoss",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "WeightSpec",
+    "ProximalTerm",
+    "build_cnn",
+    "build_femnist_cnn",
+    "build_logistic",
+    "build_mlp",
+    "build_lstm_classifier",
+]

@@ -1,0 +1,78 @@
+"""Activation layers with explicit backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["ReLU", "Tanh", "Sigmoid", "Softmax", "sigmoid", "softmax"]
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid."""
+    out = np.empty_like(x)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    expx = np.exp(x[~pos])
+    out[~pos] = expx / (1.0 + expx)
+    return out
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return e / np.sum(e, axis=axis, keepdims=True)
+
+
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._mask = x > 0
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._mask
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = np.tanh(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * (1.0 - self._out**2)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = sigmoid(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad * self._out * (1.0 - self._out)
+
+
+class Softmax(Layer):
+    """Softmax over the last axis.
+
+    Prefer the fused :class:`repro.nn.losses.SoftmaxCrossEntropy` for
+    training; this standalone layer exists for inference-time probability
+    outputs and for models whose loss is not cross-entropy.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._out = softmax(x)
+        return self._out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        # Jacobian-vector product: s * (g - sum(g * s))
+        s = self._out
+        dot = np.sum(grad * s, axis=-1, keepdims=True)
+        return s * (grad - dot)

@@ -1,0 +1,125 @@
+"""2-D convolution via im2col (vectorized — no Python loops over pixels).
+
+The im2col transform turns convolution into a single large matrix multiply,
+the standard CPU-friendly formulation. Stride-tricks views keep the patch
+extraction allocation-free until the contiguous copy needed by BLAS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.nn import initializers
+from repro.nn.layers import Layer
+from repro.nn.tensor import Parameter
+
+__all__ = ["Conv2D", "im2col", "col2im"]
+
+
+def _out_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def im2col(
+    x: np.ndarray, kh: int, kw: int, stride: int = 1, pad: int = 0
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Extract sliding patches from NHWC input.
+
+    Returns ``(cols, (oh, ow))`` where ``cols`` has shape
+    ``(N * oh * ow, kh * kw * C)``.
+    """
+    n, h, w, c = x.shape
+    oh = _out_size(h, kh, stride, pad)
+    ow = _out_size(w, kw, stride, pad)
+    if oh <= 0 or ow <= 0:
+        raise ValueError(
+            f"kernel ({kh}x{kw}, stride={stride}, pad={pad}) too large for input {h}x{w}"
+        )
+    if pad:
+        x = np.pad(x, ((0, 0), (pad, pad), (pad, pad), (0, 0)))
+    sn, sh, sw, sc = x.strides
+    patches = as_strided(
+        x,
+        shape=(n, oh, ow, kh, kw, c),
+        strides=(sn, sh * stride, sw * stride, sh, sw, sc),
+        writeable=False,
+    )
+    return np.ascontiguousarray(patches).reshape(n * oh * ow, kh * kw * c), (oh, ow)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int = 1,
+    pad: int = 0,
+) -> np.ndarray:
+    """Scatter-add column gradients back to the padded input (im2col adjoint)."""
+    n, h, w, c = x_shape
+    oh = _out_size(h, kh, stride, pad)
+    ow = _out_size(w, kw, stride, pad)
+    hp, wp = h + 2 * pad, w + 2 * pad
+    dx = np.zeros((n, hp, wp, c), dtype=cols.dtype)
+    cols6 = cols.reshape(n, oh, ow, kh, kw, c)
+    # Loop over the (small) kernel window, vectorized over batch and space.
+    for i in range(kh):
+        for j in range(kw):
+            dx[:, i : i + oh * stride : stride, j : j + ow * stride : stride, :] += cols6[
+                :, :, :, i, j, :
+            ]
+    if pad:
+        return dx[:, pad : pad + h, pad : pad + w, :]
+    return dx
+
+
+class Conv2D(Layer):
+    """2-D convolution, NHWC layout, with 'same' or 'valid' padding."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int = 3,
+        *,
+        stride: int = 1,
+        padding: str = "same",
+        rng: np.random.Generator,
+        name: str = "conv",
+    ):
+        if padding not in ("same", "valid"):
+            raise ValueError(f"padding must be 'same' or 'valid', got {padding!r}")
+        if padding == "same" and stride != 1:
+            raise ValueError("'same' padding requires stride=1 in this implementation")
+        self.kh = self.kw = int(kernel_size)
+        self.stride = stride
+        self.pad = (self.kh - 1) // 2 if padding == "same" else 0
+        fan_in = self.kh * self.kw * in_channels
+        fan_out = self.kh * self.kw * out_channels
+        w = initializers.glorot_uniform(
+            rng, (self.kh * self.kw * in_channels, out_channels), fan_in, fan_out
+        )
+        self.w = Parameter(w, f"{name}.w")
+        self.b = Parameter(initializers.zeros((out_channels,)), f"{name}.b")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x_shape = x.shape
+        cols, (oh, ow) = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        self._cols = cols
+        out = cols @ self.w.data + self.b.data
+        return out.reshape(x.shape[0], oh, ow, self.out_channels)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, oh, ow, oc = grad.shape
+        gflat = grad.reshape(n * oh * ow, oc)
+        self.w.grad += self._cols.T @ gflat
+        self.b.grad += gflat.sum(axis=0)
+        dcols = gflat @ self.w.data.T
+        return col2im(dcols, self._x_shape, self.kh, self.kw, self.stride, self.pad)
+
+    @property
+    def params(self) -> list[Parameter]:
+        return [self.w, self.b]

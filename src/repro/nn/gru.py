@@ -1,0 +1,133 @@
+"""GRU layer with full backpropagation through time.
+
+Provided as an alternative recurrent cell to :class:`repro.nn.recurrent.LSTM`
+for the language-model experiments (the paper uses an LSTM; GRU halves the
+state and is a common drop-in for the same Reddit-style workload).
+
+Gate layout in the fused kernels is ``[z, r, n]`` (update, reset,
+candidate), with the candidate path ``n = tanh(x·Wx_n + r ⊙ (h·Wh_n))``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.activations import sigmoid
+from repro.nn.layers import Layer
+from repro.nn.tensor import Parameter
+
+__all__ = ["GRU"]
+
+
+class GRU(Layer):
+    """Single-layer GRU over ``(N, T, D)`` inputs.
+
+    ``return_sequences=False`` (default) emits the final hidden state
+    ``(N, H)``; ``True`` emits ``(N, T, H)``.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        *,
+        rng: np.random.Generator,
+        return_sequences: bool = False,
+        name: str = "gru",
+    ):
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("input_dim and hidden_dim must be positive")
+        h = hidden_dim
+        self.hidden_dim = h
+        self.return_sequences = return_sequences
+        self.wx = Parameter(
+            initializers.glorot_uniform(rng, (input_dim, 3 * h), input_dim, 3 * h),
+            f"{name}.wx",
+        )
+        wh = np.concatenate(
+            [initializers.orthogonal(rng, (h, h)) for _ in range(3)], axis=1
+        )
+        self.wh = Parameter(wh, f"{name}.wh")
+        self.b = Parameter(np.zeros(3 * h), f"{name}.b")
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n_batch, t, d = x.shape
+        h = self.hidden_dim
+        self._x = x
+        hs = np.zeros((t + 1, n_batch, h))
+        zs = np.zeros((t, n_batch, h))
+        rs = np.zeros((t, n_batch, h))
+        ns = np.zeros((t, n_batch, h))
+        hns = np.zeros((t, n_batch, h))  # h_{t-1} @ Wh_n (pre reset gating)
+        xproj = (x.reshape(n_batch * t, d) @ self.wx.data + self.b.data).reshape(
+            n_batch, t, 3 * h
+        ).transpose(1, 0, 2)
+        wh_z = self.wh.data[:, :h]
+        wh_r = self.wh.data[:, h : 2 * h]
+        wh_n = self.wh.data[:, 2 * h :]
+        for step in range(t):
+            h_prev = hs[step]
+            z = sigmoid(xproj[step][:, :h] + h_prev @ wh_z)
+            r = sigmoid(xproj[step][:, h : 2 * h] + h_prev @ wh_r)
+            hn = h_prev @ wh_n
+            n = np.tanh(xproj[step][:, 2 * h :] + r * hn)
+            hs[step + 1] = (1.0 - z) * h_prev + z * n
+            zs[step], rs[step], ns[step], hns[step] = z, r, n, hn
+        self._cache = (hs, zs, rs, ns, hns)
+        if self.return_sequences:
+            return hs[1:].transpose(1, 0, 2)
+        return hs[-1]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._x
+        hs, zs, rs, ns, hns = self._cache
+        n_batch, t, d = x.shape
+        h = self.hidden_dim
+        wh_z = self.wh.data[:, :h]
+        wh_r = self.wh.data[:, h : 2 * h]
+        wh_n = self.wh.data[:, 2 * h :]
+        if self.return_sequences:
+            dh_seq = grad.transpose(1, 0, 2)
+        else:
+            dh_seq = np.zeros((t, n_batch, h))
+            dh_seq[-1] = grad
+
+        dwx = np.zeros_like(self.wx.data)
+        dwh = np.zeros_like(self.wh.data)
+        db = np.zeros_like(self.b.data)
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((n_batch, h))
+        for step in range(t - 1, -1, -1):
+            dh = dh_seq[step] + dh_next
+            z, r, n, hn = zs[step], rs[step], ns[step], hns[step]
+            h_prev = hs[step]
+            dz = dh * (n - h_prev)
+            dn = dh * z
+            dh_prev = dh * (1.0 - z)
+            dn_pre = dn * (1.0 - n**2)
+            dr = dn_pre * hn
+            dhn = dn_pre * r
+            dz_pre = dz * z * (1.0 - z)
+            dr_pre = dr * r * (1.0 - r)
+            # h_prev contributions through all three gates.
+            dh_prev = (
+                dh_prev + dz_pre @ wh_z.T + dr_pre @ wh_r.T + dhn @ wh_n.T
+            )
+            # Parameter gradients.
+            dwh[:, :h] += h_prev.T @ dz_pre
+            dwh[:, h : 2 * h] += h_prev.T @ dr_pre
+            dwh[:, 2 * h :] += h_prev.T @ dhn
+            dgates = np.concatenate([dz_pre, dr_pre, dn_pre], axis=1)
+            dwx += x[:, step, :].T @ dgates
+            db += dgates.sum(axis=0)
+            dx[:, step, :] = dgates @ self.wx.data.T
+            dh_next = dh_prev
+        self.wx.grad += dwx
+        self.wh.grad += dwh
+        self.b.grad += db
+        return dx
+
+    @property
+    def params(self) -> list[Parameter]:
+        return [self.wx, self.wh, self.b]

@@ -1,0 +1,167 @@
+"""Core layers: base class, Dense, Flatten, Dropout, BatchNorm."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.tensor import Parameter
+
+__all__ = ["Layer", "Dense", "Flatten", "Dropout", "BatchNorm"]
+
+
+class Layer:
+    """Base class for all layers.
+
+    Contract:
+
+    - ``forward(x, training)`` caches whatever the backward pass needs and
+      returns the output.
+    - ``backward(grad)`` receives ``dL/d(output)``, **accumulates** parameter
+      gradients into ``param.grad``, and returns ``dL/d(input)``.
+    - :attr:`params` lists trainable parameters in a fixed order; this order
+      defines the layout of the model's flat weight vector, so it must be
+      stable across calls.
+    """
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def params(self) -> list[Parameter]:
+        return []
+
+    def __call__(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(x, training=training)
+
+
+class Dense(Layer):
+    """Fully connected layer ``y = x @ W + b``.
+
+    Accepts input of shape ``(N, in_features)`` or ``(N, T, in_features)``
+    (the time-distributed case used by the language model head).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        rng: np.random.Generator,
+        name: str = "dense",
+    ):
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("Dense dimensions must be positive")
+        w = initializers.glorot_uniform(
+            rng, (in_features, out_features), in_features, out_features
+        )
+        self.w = Parameter(w, f"{name}.w")
+        self.b = Parameter(initializers.zeros((out_features,)), f"{name}.b")
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._x = x
+        return x @ self.w.data + self.b.data
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x = self._x
+        if x.ndim == 2:
+            self.w.grad += x.T @ grad
+            self.b.grad += grad.sum(axis=0)
+        else:  # time-distributed: collapse leading axes
+            flat_x = x.reshape(-1, x.shape[-1])
+            flat_g = grad.reshape(-1, grad.shape[-1])
+            self.w.grad += flat_x.T @ flat_g
+            self.b.grad += flat_g.sum(axis=0)
+        return grad @ self.w.data.T
+
+    @property
+    def params(self) -> list[Parameter]:
+        return [self.w, self.b]
+
+
+class Flatten(Layer):
+    """Collapse all axes after the batch axis."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return grad.reshape(self._shape)
+
+
+class Dropout(Layer):
+    """Inverted dropout; identity at inference time.
+
+    A dedicated RNG stream keeps the dropout mask sequence reproducible and
+    independent of other stochastic components.
+    """
+
+    def __init__(self, rate: float, *, rng: np.random.Generator):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"dropout rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad
+        return grad * self._mask
+
+
+class BatchNorm(Layer):
+    """Batch normalization over the feature (last) axis for 2-D inputs.
+
+    Running statistics use exponential moving averages with the conventional
+    momentum formulation; they are *not* trainable parameters and therefore
+    do not appear in the flat weight vector (matching how FL systems treat
+    BN statistics as local state unless explicitly aggregated).
+    """
+
+    def __init__(
+        self, num_features: int, *, momentum: float = 0.9, eps: float = 1e-5, name: str = "bn"
+    ):
+        self.gamma = Parameter(np.ones(num_features), f"{name}.gamma")
+        self.beta = Parameter(np.zeros(num_features), f"{name}.beta")
+        self.momentum = momentum
+        self.eps = eps
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        if training:
+            mean = x.mean(axis=0)
+            var = x.var(axis=0)
+            self.running_mean = self.momentum * self.running_mean + (1 - self.momentum) * mean
+            self.running_var = self.momentum * self.running_var + (1 - self.momentum) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        self._std = np.sqrt(var + self.eps)
+        self._xhat = (x - mean) / self._std
+        return self.gamma.data * self._xhat + self.beta.data
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n = grad.shape[0]
+        xhat = self._xhat
+        self.gamma.grad += np.sum(grad * xhat, axis=0)
+        self.beta.grad += grad.sum(axis=0)
+        dxhat = grad * self.gamma.data
+        # Standard batch-norm backward (training-mode statistics).
+        return (
+            dxhat - dxhat.mean(axis=0) - xhat * np.mean(dxhat * xhat, axis=0)
+        ) / self._std
+
+    @property
+    def params(self) -> list[Parameter]:
+        return [self.gamma, self.beta]

@@ -1,0 +1,57 @@
+"""Loss functions with fused backward passes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.activations import softmax
+
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MSELoss"]
+
+
+class Loss:
+    """Base loss: ``forward(pred, target) -> float``; ``backward() -> dpred``."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def backward(self) -> np.ndarray:
+        raise NotImplementedError
+
+
+class SoftmaxCrossEntropy(Loss):
+    """Mean cross-entropy over integer class labels, fused with softmax.
+
+    The fused formulation gives the numerically exact gradient
+    ``(p - onehot(y)) / N`` without materializing log-probabilities twice.
+    """
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        labels = np.asarray(labels).reshape(-1)
+        if logits.ndim != 2:
+            raise ValueError(f"logits must be 2-D (N, C), got shape {logits.shape}")
+        if labels.shape[0] != logits.shape[0]:
+            raise ValueError("batch size mismatch between logits and labels")
+        n = logits.shape[0]
+        probs = softmax(logits)
+        self._probs = probs
+        self._labels = labels
+        eps = 1e-12
+        return float(-np.log(probs[np.arange(n), labels] + eps).mean())
+
+    def backward(self) -> np.ndarray:
+        n = self._probs.shape[0]
+        grad = self._probs.copy()
+        grad[np.arange(n), self._labels] -= 1.0
+        return grad / n
+
+
+class MSELoss(Loss):
+    """Mean squared error (used by theory checks on quadratic objectives)."""
+
+    def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._diff = pred - target
+        return float(np.mean(self._diff**2))
+
+    def backward(self) -> np.ndarray:
+        return 2.0 * self._diff / self._diff.size

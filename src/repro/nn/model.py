@@ -1,0 +1,188 @@
+"""Sequential model container with flat-weight-vector views.
+
+Every FL component in this library — aggregation, compression, the event
+simulator — exchanges models as **flat 1-D float vectors**. ``Sequential``
+owns the mapping between that vector and the per-layer parameter arrays via
+:class:`WeightSpec`, which records shapes and offsets (the "marshalling"
+metadata the paper transmits alongside compressed weights, §4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.nn.layers import Layer
+from repro.nn.losses import Loss
+from repro.nn.optimizers import Optimizer
+from repro.nn.tensor import Parameter
+
+__all__ = ["Sequential", "WeightSpec"]
+
+
+@dataclass(frozen=True)
+class WeightSpec:
+    """Shapes of each parameter tensor, in flat-vector order.
+
+    This is the 'dimension information' the paper sends with each compressed
+    payload so the receiver can unmarshal (reshape) the decoded value list.
+    """
+
+    shapes: tuple[tuple[int, ...], ...]
+
+    @property
+    def sizes(self) -> tuple[int, ...]:
+        return tuple(int(np.prod(s)) for s in self.shapes)
+
+    @property
+    def total(self) -> int:
+        return sum(self.sizes)
+
+    def offsets(self) -> list[tuple[int, int]]:
+        """(start, end) slice bounds of each tensor in the flat vector."""
+        out, pos = [], 0
+        for size in self.sizes:
+            out.append((pos, pos + size))
+            pos += size
+        return out
+
+    def split(self, flat: np.ndarray) -> list[np.ndarray]:
+        """Unmarshal a flat vector into correctly shaped tensors."""
+        flat = np.asarray(flat)
+        if flat.ndim != 1 or flat.size != self.total:
+            raise ValueError(
+                f"flat vector has size {flat.size}, spec expects {self.total}"
+            )
+        return [
+            flat[a:b].reshape(shape)
+            for (a, b), shape in zip(self.offsets(), self.shapes)
+        ]
+
+    def join(self, arrays: list[np.ndarray]) -> np.ndarray:
+        """Marshal per-tensor arrays into a single flat vector."""
+        if len(arrays) != len(self.shapes):
+            raise ValueError(
+                f"expected {len(self.shapes)} arrays, got {len(arrays)}"
+            )
+        for arr, shape in zip(arrays, self.shapes):
+            if tuple(arr.shape) != tuple(shape):
+                raise ValueError(f"array shape {arr.shape} != spec shape {shape}")
+        return np.concatenate([np.asarray(a).reshape(-1) for a in arrays])
+
+
+class Sequential:
+    """A linear stack of layers with train/eval entry points."""
+
+    def __init__(self, layers: list[Layer], name: str = "model"):
+        if not layers:
+            raise ValueError("Sequential requires at least one layer")
+        self.layers = list(layers)
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Parameter access
+    # ------------------------------------------------------------------ #
+    @property
+    def params(self) -> list[Parameter]:
+        out: list[Parameter] = []
+        for layer in self.layers:
+            out.extend(layer.params)
+        return out
+
+    @property
+    def num_params(self) -> int:
+        return sum(p.size for p in self.params)
+
+    @property
+    def weight_spec(self) -> WeightSpec:
+        return WeightSpec(tuple(tuple(p.shape) for p in self.params))
+
+    def get_weights(self) -> list[np.ndarray]:
+        """Copies of every parameter tensor (layer order)."""
+        return [p.data.copy() for p in self.params]
+
+    def set_weights(self, weights: list[np.ndarray]) -> None:
+        params = self.params
+        if len(weights) != len(params):
+            raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
+        for p, w in zip(params, weights):
+            w = np.asarray(w, dtype=np.float64)
+            if w.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {p.name}: {w.shape} != {p.data.shape}"
+                )
+            np.copyto(p.data, w)
+
+    def get_flat_weights(self) -> np.ndarray:
+        """All parameters marshalled into one 1-D vector."""
+        return self.weight_spec.join([p.data for p in self.params])
+
+    def set_flat_weights(self, flat: np.ndarray) -> None:
+        self.set_weights(self.weight_spec.split(flat))
+
+    # ------------------------------------------------------------------ #
+    # Forward / backward
+    # ------------------------------------------------------------------ #
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    # ------------------------------------------------------------------ #
+    # Training / evaluation
+    # ------------------------------------------------------------------ #
+    def train_on_batch(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        loss: Loss,
+        optimizer: Optimizer,
+        *,
+        grad_hook=None,
+    ) -> float:
+        """One forward/backward/update step. Returns the batch loss.
+
+        ``grad_hook(params)`` runs after backward and before the optimizer
+        step — the seam where the FedProx/FedAT proximal term injects
+        ``λ (w − w_global)`` into the gradients.
+        """
+        logits = self.forward(x, training=True)
+        value = loss.forward(logits, y)
+        self.backward(loss.backward())
+        if grad_hook is not None:
+            grad_hook(self.params)
+        optimizer.step(self.params)
+        return value
+
+    def predict(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:
+        """Inference-mode logits, processed in batches to bound memory."""
+        outs = []
+        for start in range(0, x.shape[0], batch_size):
+            outs.append(self.forward(x[start : start + batch_size], training=False))
+        return np.concatenate(outs, axis=0)
+
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, loss: Loss | None = None
+    ) -> dict[str, float]:
+        """Accuracy (and loss, if a loss is given) on ``(x, y)``."""
+        logits = self.predict(x)
+        pred = np.argmax(logits, axis=-1)
+        y = np.asarray(y).reshape(-1)
+        metrics = {"accuracy": float(np.mean(pred == y))}
+        if loss is not None:
+            metrics["loss"] = loss.forward(logits, y)
+        return metrics
+
+    def clone_weights_from(self, other: "Sequential") -> None:
+        """Copy weights from a structurally identical model."""
+        self.set_flat_weights(other.get_flat_weights())

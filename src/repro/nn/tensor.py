@@ -1,0 +1,38 @@
+"""Trainable parameter container."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Parameter"]
+
+
+class Parameter:
+    """A named trainable array with an accumulated gradient.
+
+    Gradients are *accumulated* into :attr:`grad` by layer backward passes and
+    cleared by :meth:`zero_grad` (the optimizer calls it after each step), so
+    multiple backward passes (e.g. BPTT time steps) compose additively.
+    """
+
+    __slots__ = ("name", "data", "grad")
+
+    def __init__(self, data: np.ndarray, name: str = "param"):
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient in place."""
+        self.grad.fill(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter({self.name}, shape={self.data.shape})"

@@ -1,0 +1,34 @@
+"""Discrete-event cluster simulation substrate.
+
+The paper deploys 100 clients on Chameleon Cloud and 500 on AWS, injecting
+random per-round delays (0s, 0–5s, 6–10s, 11–15s, 20–30s across five equal
+parts of the client population) to emulate stragglers, plus 10 "unstable"
+clients that drop out permanently. We reproduce that environment with a
+virtual clock: client response latency = compute-time model + the paper's
+tier delay + optional bandwidth-limited transfer time, orchestrated by a
+heap-based event queue. Virtual seconds are the time axis of every figure.
+"""
+
+from repro.sim.client import LocalTrainingResult, SimClient
+from repro.sim.events import Event, EventQueue
+from repro.sim.failures import UnstableClientPolicy
+from repro.sim.latency import (
+    PAPER_DELAY_BANDS,
+    ComputeModel,
+    ResponseLatencyModel,
+    TierDelayModel,
+)
+from repro.sim.network import NetworkMeter
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "ComputeModel",
+    "TierDelayModel",
+    "ResponseLatencyModel",
+    "PAPER_DELAY_BANDS",
+    "NetworkMeter",
+    "SimClient",
+    "LocalTrainingResult",
+    "UnstableClientPolicy",
+]

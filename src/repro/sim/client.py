@@ -1,0 +1,125 @@
+"""Simulated FL client: local training + latency sampling.
+
+To keep 100–500-client simulations cheap, clients do not own model
+instances. The algorithm layer passes a single shared *worker model* whose
+weights are swapped per client — valid because the event simulator
+serializes local training in virtual-time order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.data.batching import FixedBatchSchedule
+from repro.data.federated import ClientData
+from repro.nn.losses import Loss
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Optimizer
+from repro.nn.proximal import ProximalTerm
+from repro.sim.latency import ResponseLatencyModel
+
+__all__ = ["SimClient", "LocalTrainingResult"]
+
+
+@dataclass
+class LocalTrainingResult:
+    """Output of one client round."""
+
+    client_id: int
+    weights: np.ndarray  # flat vector after local training
+    n_samples: int  # n_k, the FedAvg aggregation weight
+    train_loss: float  # mean batch loss over the round
+    latency: float  # sampled response latency (virtual seconds)
+
+
+class SimClient:
+    """One federated client with paper-faithful local training semantics.
+
+    - local solver: any :class:`Optimizer` built fresh per round (the paper
+      uses Adam; optimizer state does not persist across rounds);
+    - E epochs over the client's fixed pseudo-random mini-batch schedule
+      (§6: the schedule is deterministic per client so every compared FL
+      method sees identical batches);
+    - optional FedProx/FedAT proximal term pulling updates toward the global
+      model snapshot.
+    """
+
+    def __init__(
+        self,
+        data: ClientData,
+        latency_model: ResponseLatencyModel,
+        *,
+        batch_size: int = 10,
+        seed: int = 0,
+    ):
+        self.data = data
+        self.client_id = data.client_id
+        self.latency_model = latency_model
+        self.schedule = FixedBatchSchedule(
+            data.num_train, batch_size, data.client_id, seed
+        )
+
+    @property
+    def n_train(self) -> int:
+        return self.data.num_train
+
+    def sample_latency(
+        self, epochs: int, rng: np.random.Generator, *, payload_bytes: int = 0
+    ) -> float:
+        """Draw this round's response latency."""
+        return self.latency_model.round_latency(
+            self.client_id, self.n_train, epochs, rng, payload_bytes=payload_bytes
+        )
+
+    def expected_latency(self, epochs: int) -> float:
+        return self.latency_model.expected_latency(self.client_id, self.n_train, epochs)
+
+    def local_train(
+        self,
+        worker: Sequential,
+        global_flat: np.ndarray,
+        *,
+        epochs: int,
+        loss: Loss,
+        optimizer_factory: Callable[[], Optimizer],
+        lam: float = 0.0,
+        latency: float | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> LocalTrainingResult:
+        """Run E local epochs starting from ``global_flat``.
+
+        Returns the new flat weights; the worker model is left holding them
+        (callers must not rely on worker state across clients).
+        """
+        if epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {epochs}")
+        worker.set_flat_weights(global_flat)
+        optimizer = optimizer_factory()
+        prox = ProximalTerm(lam)
+        if lam > 0:
+            prox.set_reference([p.data for p in worker.params])
+        hook = prox if lam > 0 else None
+
+        x, y = self.data.x_train, self.data.y_train
+        losses: list[float] = []
+        for _ in range(epochs):
+            for batch_idx in self.schedule.next_epoch():
+                losses.append(
+                    worker.train_on_batch(
+                        x[batch_idx], y[batch_idx], loss, optimizer, grad_hook=hook
+                    )
+                )
+        if latency is None:
+            if rng is None:
+                raise ValueError("provide either latency or rng")
+            latency = self.sample_latency(epochs, rng)
+        return LocalTrainingResult(
+            client_id=self.client_id,
+            weights=worker.get_flat_weights(),
+            n_samples=self.n_train,
+            train_loss=float(np.mean(losses)),
+            latency=float(latency),
+        )

@@ -1,0 +1,147 @@
+"""Client response-latency models.
+
+Paper §6, "Simulating Different Performance Tiers": all clients get one CPU;
+heterogeneity is injected as a *random delay per round*, drawn from one of
+five bands depending on which fifth of the population the client belongs
+to — ``0s, 0–5s, 6–10s, 11–15s, 20–30s``. Response latency additionally
+includes the local compute time (proportional to samples × epochs) and,
+optionally, bandwidth-limited transfer time for the model payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "PAPER_DELAY_BANDS",
+    "TierDelayModel",
+    "ComputeModel",
+    "ResponseLatencyModel",
+]
+
+#: The paper's five delay bands (seconds), fastest part first.
+PAPER_DELAY_BANDS: tuple[tuple[float, float], ...] = (
+    (0.0, 0.0),
+    (0.0, 5.0),
+    (6.0, 10.0),
+    (11.0, 15.0),
+    (20.0, 30.0),
+)
+
+
+@dataclass(frozen=True)
+class TierDelayModel:
+    """Per-round uniform delay bands, indexed by performance part.
+
+    ``assignment[client_id]`` gives the part (0 = fastest). The paper evenly
+    divides clients into five parts; custom distributions (Fig 10's
+    Slow/Medium/Fast splits) pass explicit part sizes.
+    """
+
+    bands: tuple[tuple[float, float], ...]
+    assignment: np.ndarray  # part index per client
+
+    @staticmethod
+    def even_split(
+        num_clients: int,
+        rng: np.random.Generator,
+        bands: tuple[tuple[float, float], ...] = PAPER_DELAY_BANDS,
+        *,
+        shuffle: bool = True,
+    ) -> "TierDelayModel":
+        """Assign equal-size parts (the paper's default setup)."""
+        counts = [num_clients // len(bands)] * len(bands)
+        for i in range(num_clients - sum(counts)):
+            counts[i] += 1
+        return TierDelayModel.from_counts(counts, rng, bands, shuffle=shuffle)
+
+    @staticmethod
+    def from_counts(
+        counts: list[int],
+        rng: np.random.Generator,
+        bands: tuple[tuple[float, float], ...] = PAPER_DELAY_BANDS,
+        *,
+        shuffle: bool = True,
+    ) -> "TierDelayModel":
+        """Assign parts with explicit sizes (Fig 10 configurations)."""
+        if len(counts) != len(bands):
+            raise ValueError(f"need {len(bands)} counts, got {len(counts)}")
+        if any(c < 0 for c in counts):
+            raise ValueError("part sizes must be non-negative")
+        assignment = np.repeat(np.arange(len(bands)), counts)
+        if shuffle:
+            assignment = rng.permutation(assignment)
+        for lo, hi in bands:
+            if lo < 0 or hi < lo:
+                raise ValueError(f"invalid delay band ({lo}, {hi})")
+        return TierDelayModel(tuple(bands), assignment)
+
+    @property
+    def num_clients(self) -> int:
+        return int(self.assignment.size)
+
+    def part_of(self, client_id: int) -> int:
+        return int(self.assignment[client_id])
+
+    def sample_delay(self, client_id: int, rng: np.random.Generator) -> float:
+        """Draw this round's injected delay for ``client_id``."""
+        lo, hi = self.bands[self.part_of(client_id)]
+        if hi == lo:
+            return lo
+        return float(rng.uniform(lo, hi))
+
+    def expected_delay(self, client_id: int) -> float:
+        lo, hi = self.bands[self.part_of(client_id)]
+        return (lo + hi) / 2.0
+
+
+@dataclass(frozen=True)
+class ComputeModel:
+    """Local-training compute time: ``base + per_sample × samples × epochs``."""
+
+    per_sample: float = 0.002
+    base: float = 0.05
+
+    def duration(self, n_samples: int, epochs: int) -> float:
+        if n_samples < 0 or epochs < 0:
+            raise ValueError("n_samples and epochs must be non-negative")
+        return self.base + self.per_sample * n_samples * epochs
+
+
+@dataclass(frozen=True)
+class ResponseLatencyModel:
+    """Full round-trip latency for one client round.
+
+    ``bandwidth_bytes_per_s=None`` disables transfer-time modelling (the
+    paper reports communication as bytes, not seconds; enabling a finite
+    bandwidth lets the communication-bottleneck effect of FedAsync appear in
+    the *time* axis too).
+    """
+
+    delays: TierDelayModel
+    compute: ComputeModel = ComputeModel()
+    bandwidth_bytes_per_s: float | None = None
+
+    def round_latency(
+        self,
+        client_id: int,
+        n_samples: int,
+        epochs: int,
+        rng: np.random.Generator,
+        *,
+        payload_bytes: int = 0,
+    ) -> float:
+        """Sample the latency of one local round for ``client_id``."""
+        t = self.compute.duration(n_samples, epochs)
+        t += self.delays.sample_delay(client_id, rng)
+        if self.bandwidth_bytes_per_s:
+            t += payload_bytes / self.bandwidth_bytes_per_s
+        return t
+
+    def expected_latency(self, client_id: int, n_samples: int, epochs: int) -> float:
+        """Expectation of :meth:`round_latency` — used by the profiler."""
+        return self.compute.duration(n_samples, epochs) + self.delays.expected_delay(
+            client_id
+        )

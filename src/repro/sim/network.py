@@ -1,0 +1,51 @@
+"""Uplink/downlink byte accounting.
+
+Table 2 and Figs 4/5/7(b) are generated from this meter: every model
+transfer (client→server upload, server→client download) is charged at its
+codec wire size at the virtual time it happens.
+"""
+
+from __future__ import annotations
+
+__all__ = ["NetworkMeter"]
+
+
+class NetworkMeter:
+    """Cumulative uplink/downlink byte counters with an event log."""
+
+    def __init__(self):
+        self.uplink_bytes = 0
+        self.downlink_bytes = 0
+        self.uplink_messages = 0
+        self.downlink_messages = 0
+
+    @property
+    def total_bytes(self) -> int:
+        return self.uplink_bytes + self.downlink_bytes
+
+    def record_upload(self, nbytes: int) -> None:
+        """Charge one client→server transfer."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.uplink_bytes += int(nbytes)
+        self.uplink_messages += 1
+
+    def record_download(self, nbytes: int) -> None:
+        """Charge one server→client transfer."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        self.downlink_bytes += int(nbytes)
+        self.downlink_messages += 1
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "uplink_bytes": self.uplink_bytes,
+            "downlink_bytes": self.downlink_bytes,
+            "total_bytes": self.total_bytes,
+            "uplink_messages": self.uplink_messages,
+            "downlink_messages": self.downlink_messages,
+        }
+
+    def megabytes(self) -> float:
+        """Total transfer in MB (the unit of Table 2)."""
+        return self.total_bytes / 1e6

@@ -1,0 +1,9 @@
+"""Empirical checks of the paper's convergence analysis (§5)."""
+
+from repro.theory.convergence import (
+    QuadraticProblem,
+    geometric_rate_bound,
+    run_fedat_on_quadratic,
+)
+
+__all__ = ["QuadraticProblem", "run_fedat_on_quadratic", "geometric_rate_bound"]

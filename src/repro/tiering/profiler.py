@@ -1,0 +1,67 @@
+"""Response-latency profiling.
+
+Profiles clients by running (or estimating) one training round and
+recording the response latency. Measurement noise and mis-profiling let
+tests exercise the paper's claim that FedAT tolerates clients assigned to
+the wrong tier (§2.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.sim.client import SimClient
+
+__all__ = ["LatencyProfiler"]
+
+
+class LatencyProfiler:
+    """Estimates per-client response latencies for tier assignment."""
+
+    def __init__(
+        self,
+        *,
+        epochs: int = 1,
+        probe_rounds: int = 1,
+        noise_std: float = 0.0,
+        misprofile_fraction: float = 0.0,
+    ):
+        if probe_rounds < 1:
+            raise ValueError("probe_rounds must be >= 1")
+        if noise_std < 0:
+            raise ValueError("noise_std must be non-negative")
+        if not 0.0 <= misprofile_fraction <= 1.0:
+            raise ValueError("misprofile_fraction must be in [0, 1]")
+        self.epochs = epochs
+        self.probe_rounds = probe_rounds
+        self.noise_std = noise_std
+        self.misprofile_fraction = misprofile_fraction
+
+    def profile(
+        self, clients: list[SimClient], rng: np.random.Generator
+    ) -> np.ndarray:
+        """Return estimated response latency per client.
+
+        With ``probe_rounds`` probes the estimate is the mean of sampled
+        round latencies (which is what a real deployment can observe);
+        optional Gaussian noise and random scrambling of a fraction of
+        estimates model profiling error.
+        """
+        lat = np.empty(len(clients))
+        for i, c in enumerate(clients):
+            probes = [
+                c.sample_latency(self.epochs, rng) for _ in range(self.probe_rounds)
+            ]
+            lat[i] = float(np.mean(probes))
+        if self.noise_std > 0:
+            lat = np.maximum(lat + rng.normal(0, self.noise_std, lat.size), 0.0)
+        if self.misprofile_fraction > 0:
+            n_bad = int(round(self.misprofile_fraction * lat.size))
+            if n_bad:
+                bad = rng.choice(lat.size, size=n_bad, replace=False)
+                lat[bad] = rng.permutation(lat[bad])
+                # Scrambling within the chosen subset swaps their rankings;
+                # additionally blast a third of them to random magnitudes.
+                blasted = bad[: max(1, n_bad // 3)]
+                lat[blasted] = rng.uniform(lat.min(), lat.max(), size=blasted.size)
+        return lat

@@ -1,0 +1,84 @@
+"""Tier assignment from profiled latencies."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Tiering"]
+
+
+class Tiering:
+    """Partition of clients into ``M`` latency tiers (tier 0 = fastest).
+
+    Note on indexing: the paper writes tiers 1..M; in code tiers are
+    0-indexed (``tier 0`` is the paper's ``tier 1``).
+    """
+
+    def __init__(self, tiers: list[np.ndarray]):
+        if not tiers:
+            raise ValueError("need at least one tier")
+        self.tiers = [np.asarray(t, dtype=np.int64) for t in tiers]
+        seen = np.concatenate(self.tiers) if self.tiers else np.empty(0)
+        if seen.size != np.unique(seen).size:
+            raise ValueError("a client appears in more than one tier")
+        self._tier_of = {int(c): m for m, t in enumerate(self.tiers) for c in t}
+
+    @staticmethod
+    def from_latencies(latencies: np.ndarray, num_tiers: int) -> "Tiering":
+        """Sort clients by latency and split into ``num_tiers`` equal groups.
+
+        This is TiFL's tiering approach, which FedAT adopts (§2.1). Ties are
+        broken by client id, making assignment deterministic.
+        """
+        latencies = np.asarray(latencies, dtype=float)
+        if num_tiers < 1:
+            raise ValueError("num_tiers must be >= 1")
+        if latencies.size < num_tiers:
+            raise ValueError(
+                f"cannot form {num_tiers} tiers from {latencies.size} clients"
+            )
+        order = np.lexsort((np.arange(latencies.size), latencies))
+        return Tiering([np.sort(part) for part in np.array_split(order, num_tiers)])
+
+    @property
+    def num_tiers(self) -> int:
+        return len(self.tiers)
+
+    @property
+    def num_clients(self) -> int:
+        return sum(t.size for t in self.tiers)
+
+    def tier_of(self, client_id: int) -> int:
+        """Tier index of a client (KeyError for unknown ids)."""
+        return self._tier_of[int(client_id)]
+
+    def clients_in(self, tier: int) -> np.ndarray:
+        return self.tiers[tier]
+
+    def sizes(self) -> list[int]:
+        return [int(t.size) for t in self.tiers]
+
+    def mistier(self, fraction: float, rng: np.random.Generator) -> "Tiering":
+        """Return a copy with a fraction of clients moved to random tiers.
+
+        Models profiling error / latency drift; used by the mis-tiering
+        ablation bench to test the paper's robustness claim.
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        assignment = {int(c): m for m, t in enumerate(self.tiers) for c in t}
+        ids = np.array(sorted(assignment))
+        n_move = int(round(fraction * ids.size))
+        if n_move:
+            movers = rng.choice(ids, size=n_move, replace=False)
+            for c in movers:
+                assignment[int(c)] = int(rng.integers(0, self.num_tiers))
+        new_tiers: list[list[int]] = [[] for _ in range(self.num_tiers)]
+        for c, m in assignment.items():
+            new_tiers[m].append(c)
+        # Guard: keep every tier non-empty by pulling from the largest tier.
+        for m in range(self.num_tiers):
+            if not new_tiers[m]:
+                donor = max(range(self.num_tiers), key=lambda j: len(new_tiers[j]))
+                new_tiers[m].append(new_tiers[donor].pop())
+        return Tiering([np.sort(np.array(t)) for t in new_tiers])

@@ -1,0 +1,57 @@
+"""Argument-validation helpers with consistent error messages."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_fraction",
+    "check_probability_vector",
+    "check_in",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value >= 0``."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float, *, inclusive: bool = True) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1] (or (0, 1))."""
+    lo_ok = value >= 0 if inclusive else value > 0
+    hi_ok = value <= 1 if inclusive else value < 1
+    if not (lo_ok and hi_ok):
+        bounds = "[0, 1]" if inclusive else "(0, 1)"
+        raise ValueError(f"{name} must be in {bounds}, got {value!r}")
+    return value
+
+
+def check_probability_vector(name: str, p: np.ndarray, *, atol: float = 1e-8) -> np.ndarray:
+    """Validate that ``p`` is non-negative and sums to 1 (within ``atol``)."""
+    p = np.asarray(p, dtype=float)
+    if p.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {p.shape}")
+    if np.any(p < -atol):
+        raise ValueError(f"{name} has negative entries")
+    total = float(p.sum())
+    if abs(total - 1.0) > max(atol, 1e-6 * len(p)):
+        raise ValueError(f"{name} must sum to 1, got {total}")
+    return p
+
+
+def check_in(name: str, value: object, allowed: tuple) -> object:
+    """Raise ``ValueError`` unless ``value`` is one of ``allowed``."""
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {allowed}, got {value!r}")
+    return value

@@ -1,0 +1,122 @@
+"""Codec interface tests: payload accounting, ratios, factory."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.codec import (
+    NullCodec,
+    PolylineCodec,
+    QuantizationCodec,
+    TopKCodec,
+    compression_ratio,
+    make_codec,
+)
+
+
+class TestNullCodec:
+    def test_four_bytes_per_weight(self, rng):
+        flat = rng.normal(size=123)
+        payload = NullCodec().encode(flat)
+        assert payload.nbytes == 4 * 123
+        assert payload.n_values == 123
+
+    def test_roundtrip_is_float32_cast(self, rng):
+        flat = rng.normal(size=50)
+        out, _ = NullCodec().roundtrip(flat)
+        np.testing.assert_allclose(out, flat.astype(np.float32), atol=0)
+
+
+class TestPolylineCodec:
+    def test_roundtrip_precision(self, rng):
+        flat = rng.normal(0, 0.2, size=400)
+        codec = PolylineCodec(4)
+        out, payload = codec.roundtrip(flat)
+        np.testing.assert_allclose(out, np.round(flat, 4), atol=5.1e-5)
+        assert payload.nbytes == len(payload.data)
+
+    def test_payload_value_count_checked(self, rng):
+        codec = PolylineCodec(4)
+        payload = codec.encode(rng.normal(size=10))
+        bad = type(payload)(payload.data, payload.nbytes, payload.codec, 11)
+        with pytest.raises(ValueError):
+            codec.decode(bad)
+
+    def test_precision_bounds(self):
+        with pytest.raises(ValueError):
+            PolylineCodec(0)
+        with pytest.raises(ValueError):
+            PolylineCodec(13)
+
+    def test_beats_raw_float32_on_weights(self, rng):
+        flat = rng.normal(0, 0.1, size=20_000)
+        payload = PolylineCodec(4).encode(flat)
+        assert compression_ratio(payload) > 1.2
+        # Paper's "up to 3.5×" is vs an 8-byte/text reference.
+        assert compression_ratio(payload, reference_bytes=8) > 2.4
+
+
+class TestQuantizationCodec:
+    def test_roundtrip_error_bounded(self, rng):
+        flat = rng.uniform(-1, 1, size=1000)
+        codec = QuantizationCodec(8)
+        out, payload = codec.roundtrip(flat)
+        step = 2.0 / 255
+        assert np.max(np.abs(out - flat)) <= step / 2 + 1e-12
+        assert payload.nbytes == 1000 + 8
+
+    def test_constant_input(self):
+        out, _ = QuantizationCodec(8).roundtrip(np.full(10, 3.14))
+        np.testing.assert_allclose(out, 3.14)
+
+    def test_bits_validation(self):
+        with pytest.raises(ValueError):
+            QuantizationCodec(0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(bits=st.integers(2, 12), seed=st.integers(0, 100))
+    def test_property_error_shrinks_with_bits(self, bits, seed):
+        rng = np.random.default_rng(seed)
+        flat = rng.uniform(-1, 1, size=200)
+        out, _ = QuantizationCodec(bits).roundtrip(flat)
+        span = flat.max() - flat.min()
+        assert np.max(np.abs(out - flat)) <= span / (2**bits - 1) / 2 + 1e-12
+
+
+class TestTopKCodec:
+    def test_keeps_largest_magnitudes(self):
+        flat = np.array([0.1, -5.0, 0.2, 4.0, -0.05])
+        out, payload = TopKCodec(0.4).roundtrip(flat)
+        np.testing.assert_array_equal(out, [0.0, -5.0, 0.0, 4.0, 0.0])
+        assert payload.nbytes == 2 * 8
+
+    def test_fraction_one_keeps_all(self, rng):
+        flat = rng.normal(size=20)
+        out, _ = TopKCodec(1.0).roundtrip(flat)
+        np.testing.assert_allclose(out, flat, atol=1e-6)
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            TopKCodec(0.0)
+        with pytest.raises(ValueError):
+            TopKCodec(1.5)
+
+
+class TestFactory:
+    def test_none_gives_null(self):
+        assert isinstance(make_codec(None), NullCodec)
+
+    def test_polyline_with_precision(self):
+        codec = make_codec("polyline:6")
+        assert isinstance(codec, PolylineCodec)
+        assert codec.precision == 6
+
+    def test_defaults(self):
+        assert make_codec("polyline").precision == 4
+        assert make_codec("quant").bits == 8
+        assert make_codec("topk").fraction == 0.1
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_codec("gzip")

@@ -1,0 +1,130 @@
+"""Polyline codec tests: Google reference vector, round-trips, properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.compression.polyline import MAX_ABS_VALUE, polyline_decode, polyline_encode
+
+
+class TestReferenceVectors:
+    def test_google_documented_example_single_value(self):
+        """developers.google.com reference: -179.9832104 → '`~oia@'."""
+        assert polyline_encode(np.array([-179.9832104]), 5) == "`~oia@"
+
+    def test_google_documented_full_polyline(self):
+        """The documented 3-point example, flattened to the interleaved
+        (lat, lng, lat, lng, ...) delta stream the spec describes."""
+        pts = np.array([38.5, -120.2, 40.7, -120.95, 43.252, -126.453])
+        # The spec deltas lat and lng separately; our generalization deltas
+        # the flat sequence, so only round-tripping (not the exact string)
+        # is required here.
+        out = polyline_decode(polyline_encode(pts, 5), 5)
+        np.testing.assert_allclose(out, pts, atol=1e-5)
+
+    def test_small_values(self):
+        vals = np.array([0.0, 1e-5, -1e-5])
+        out = polyline_decode(polyline_encode(vals, 5), 5)
+        np.testing.assert_allclose(out, vals, atol=1e-9)
+
+
+class TestRoundTrip:
+    def test_roundtrip_equals_rounding(self, rng):
+        vals = rng.normal(0, 0.3, size=2000)
+        for p in (3, 4, 5, 6):
+            out = polyline_decode(polyline_encode(vals, p), p)
+            np.testing.assert_allclose(out, np.round(vals, p), atol=10.0**-p * 0.51)
+
+    def test_empty(self):
+        assert polyline_encode(np.array([])) == ""
+        assert polyline_decode("", 5).size == 0
+
+    def test_single_zero(self):
+        s = polyline_encode(np.array([0.0]), 5)
+        assert s == "?"
+        np.testing.assert_array_equal(polyline_decode(s, 5), [0.0])
+
+    def test_output_is_printable_ascii(self, rng):
+        s = polyline_encode(rng.normal(size=500), 5)
+        assert all(63 <= ord(ch) <= 126 for ch in s)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 60),
+            elements=st.floats(-1e4, 1e4, allow_nan=False, allow_infinity=False),
+        ),
+        st.integers(1, 6),
+    )
+    def test_property_roundtrip(self, vals, precision):
+        decoded = polyline_decode(polyline_encode(vals, precision), precision)
+        assert decoded.size == vals.size
+        np.testing.assert_allclose(
+            decoded, np.round(vals, precision), atol=10.0**-precision * 0.51 + 1e-12
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            st.integers(1, 40),
+            elements=st.floats(-10, 10, allow_nan=False, allow_infinity=False),
+        )
+    )
+    def test_property_idempotent_on_rounded_values(self, vals):
+        """Encoding already-rounded values is lossless."""
+        rounded = np.round(vals, 4)
+        once = polyline_decode(polyline_encode(rounded, 4), 4)
+        np.testing.assert_allclose(once, rounded, atol=1e-12)
+
+
+class TestErrors:
+    def test_rejects_nan_inf(self):
+        with pytest.raises(ValueError):
+            polyline_encode(np.array([np.nan]), 4)
+        with pytest.raises(ValueError):
+            polyline_encode(np.array([np.inf]), 4)
+
+    def test_rejects_overflow_values(self):
+        with pytest.raises(ValueError):
+            polyline_encode(np.array([MAX_ABS_VALUE]), 5)
+
+    def test_rejects_bad_precision(self):
+        with pytest.raises(ValueError):
+            polyline_encode(np.array([1.0]), 13)
+        with pytest.raises(ValueError):
+            polyline_decode("?", -1)
+
+    def test_rejects_truncated_string(self):
+        s = polyline_encode(np.array([123.456, -98.7]), 5)
+        # Strip the terminating (non-continuation) char of the last value.
+        with pytest.raises(ValueError):
+            polyline_decode(s[:-1] + chr(ord(s[-1]) | 0x20), 5)
+
+    def test_rejects_invalid_characters(self):
+        with pytest.raises(ValueError):
+            polyline_decode("\x01", 5)
+
+
+class TestCompressionBehaviour:
+    def test_lower_precision_is_shorter(self, rng):
+        vals = rng.normal(0, 0.2, size=5000)
+        lens = [len(polyline_encode(vals, p)) for p in (3, 4, 5, 6)]
+        assert lens == sorted(lens)
+
+    def test_small_weights_compress_below_float32(self, rng):
+        """Typical trained-weight magnitudes beat 4 bytes/weight at p4."""
+        vals = rng.normal(0, 0.05, size=10_000)
+        s = polyline_encode(vals, 4)
+        assert len(s) < 4 * vals.size
+
+    def test_delta_encoding_helps_correlated_sequences(self, rng):
+        """Smooth sequences (small deltas) compress much better than white
+        noise of the same magnitude — the point of delta encoding."""
+        t = np.linspace(0, 10, 5000)
+        smooth = np.sin(t) * 100
+        noise = rng.uniform(-100, 100, size=5000)
+        assert len(polyline_encode(smooth, 4)) < 0.7 * len(polyline_encode(noise, 4))

@@ -1,0 +1,111 @@
+"""Aggregation rule tests, including the §4.2 mirror-weight heuristic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.aggregation import (
+    cross_tier_weights,
+    sample_weighted_average,
+    uniform_tier_weights,
+    weighted_average,
+)
+
+
+class TestWeightedAverage:
+    def test_simple_average(self):
+        v = [np.array([1.0, 0.0]), np.array([3.0, 2.0])]
+        out = weighted_average(v, np.array([0.5, 0.5]))
+        np.testing.assert_allclose(out, [2.0, 1.0])
+
+    def test_degenerate_single(self):
+        out = weighted_average([np.array([4.0])], np.array([1.0]))
+        np.testing.assert_allclose(out, [4.0])
+
+    def test_validates_weights(self, rng):
+        v = [rng.normal(size=3), rng.normal(size=3)]
+        with pytest.raises(ValueError):
+            weighted_average(v, np.array([0.7, 0.7]))
+        with pytest.raises(ValueError):
+            weighted_average(v, np.array([-0.5, 1.5]))
+        with pytest.raises(ValueError):
+            weighted_average(v, np.array([1.0]))
+        with pytest.raises(ValueError):
+            weighted_average([], np.array([]))
+
+    def test_convexity(self, rng):
+        """Result stays inside the coordinate-wise hull of the inputs."""
+        v = [rng.normal(size=5) for _ in range(4)]
+        w = rng.dirichlet(np.ones(4))
+        out = weighted_average(v, w)
+        stacked = np.stack(v)
+        assert np.all(out <= stacked.max(axis=0) + 1e-12)
+        assert np.all(out >= stacked.min(axis=0) - 1e-12)
+
+
+class TestSampleWeightedAverage:
+    def test_nk_weighting(self):
+        v = [np.array([0.0]), np.array([10.0])]
+        out = sample_weighted_average(v, [1, 4])
+        np.testing.assert_allclose(out, [8.0])
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ValueError):
+            sample_weighted_average([np.zeros(2)], [0])
+
+
+class TestCrossTierWeights:
+    def test_none_before_any_update(self):
+        assert cross_tier_weights(np.zeros(5)) is None
+
+    def test_mirror_assignment(self):
+        # counts (fast→slow): T1=3, T2=1, T3=0  → weights are reversed/T.
+        w = cross_tier_weights(np.array([3, 1, 0]))
+        np.testing.assert_allclose(w, [0.0, 0.25, 0.75])
+
+    def test_slow_tier_gets_fast_tiers_share(self):
+        """The slowest tier's weight equals the fastest tier's count share."""
+        counts = np.array([10, 5, 3, 2, 1])
+        w = cross_tier_weights(counts)
+        assert w[-1] == pytest.approx(10 / 21)
+        assert w[0] == pytest.approx(1 / 21)
+
+    def test_sums_to_one(self, rng):
+        counts = rng.integers(0, 100, size=7)
+        counts[0] = 1  # ensure at least one update
+        np.testing.assert_allclose(cross_tier_weights(counts).sum(), 1.0)
+
+    def test_validates(self):
+        with pytest.raises(ValueError):
+            cross_tier_weights(np.array([-1, 2]))
+        with pytest.raises(ValueError):
+            cross_tier_weights(np.zeros((2, 2)))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 1000), min_size=2, max_size=8))
+    def test_property_valid_distribution(self, counts):
+        counts = np.array(counts)
+        w = cross_tier_weights(counts)
+        if counts.sum() == 0:
+            assert w is None
+        else:
+            assert np.all(w >= 0)
+            np.testing.assert_allclose(w.sum(), 1.0)
+            # Mirror identity: w[m] == counts[M-1-m]/T.
+            np.testing.assert_allclose(w, counts[::-1] / counts.sum())
+
+    def test_balances_update_rates(self):
+        """In steady state with rates r_m, the *effective* contribution of
+        tier m per unit time is r_m · w_m = r_m · r_{M+1−m} / Σr — symmetric
+        in m ↔ M+1−m, i.e. fast and slow mirror-tiers contribute equally."""
+        rates = np.array([10.0, 4.0, 2.0, 1.0])
+        w = cross_tier_weights(rates)
+        contribution = rates * w
+        np.testing.assert_allclose(contribution, contribution[::-1])
+
+
+def test_uniform_tier_weights():
+    np.testing.assert_allclose(uniform_tier_weights(4), 0.25)
+    with pytest.raises(ValueError):
+        uniform_tier_weights(0)

@@ -1,0 +1,127 @@
+"""FLSystem shared-machinery tests (byte accounting, selection, env fairness)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.fedavg import FedAvg
+from repro.core.config import FLConfig
+from repro.core.fedat import FedAT
+from repro.experiments.config import build_model_builder
+
+
+def _system(dataset, cls=FedAvg, **overrides):
+    defaults = dict(
+        clients_per_round=4, local_epochs=1, max_rounds=4, eval_every=2,
+        num_tiers=3, num_unstable=2, seed=0, compression=None,
+    )
+    defaults.update(overrides)
+    return cls(dataset, build_model_builder(dataset, "tiny"), FLConfig(**defaults))
+
+
+class TestTransfers:
+    def test_send_down_charges_each_receiver(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset)
+        s.send_down(s.global_weights, n_receivers=7)
+        assert s.meter.downlink_messages == 7
+        assert s.meter.downlink_bytes == 7 * 4 * s.worker.num_params
+
+    def test_send_up_returns_decoded(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset)
+        out = s.send_up(s.global_weights)
+        np.testing.assert_allclose(
+            out, s.global_weights.astype(np.float32), atol=1e-7
+        )
+        assert s.meter.uplink_messages == 1
+
+    def test_fedat_payloads_lossy_but_close(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset, cls=FedAT, compression="polyline:4")
+        received = s.send_down(s.global_weights, n_receivers=1)
+        assert not np.array_equal(received, s.global_weights)
+        np.testing.assert_allclose(received, s.global_weights, atol=5.1e-5)
+
+
+class TestSelection:
+    def test_sample_without_replacement(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset)
+        cohort = s.select_clients(list(range(12)), 5)
+        assert len(cohort) == len(set(cohort)) == 5
+
+    def test_small_pool_clamped(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset)
+        assert len(s.select_clients([3, 4], 10)) == 2
+        assert s.select_clients([], 10) == []
+
+    def test_selection_stream_isolated_per_method(self, tiny_bow_dataset):
+        """Different algorithms draw different cohorts, but the *environment*
+        (delay parts, dropout schedule) is identical for the same seed."""
+        a = _system(tiny_bow_dataset, cls=FedAvg)
+        b = _system(tiny_bow_dataset, cls=FedAT, compression="polyline:4")
+        np.testing.assert_array_equal(
+            a.delay_model.assignment, b.delay_model.assignment
+        )
+        assert a.failures.unstable_ids == b.failures.unstable_ids
+
+
+class TestEnvironment:
+    def test_delay_model_must_cover_population(self, tiny_bow_dataset):
+        from repro.sim.latency import TierDelayModel
+
+        small = TierDelayModel.even_split(3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            FedAvg(
+                tiny_bow_dataset,
+                build_model_builder(tiny_bow_dataset, "tiny"),
+                FLConfig(max_rounds=2, seed=0, compression=None),
+                delay_model=small,
+            )
+
+    def test_budget_exhausted_by_time(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset, max_time=5.0)
+        s.now = 10.0
+        assert s.budget_exhausted()
+
+    def test_budget_exhausted_by_rounds(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset, max_rounds=3)
+        s.round = 3
+        assert s.budget_exhausted()
+
+    def test_record_eval_snapshot(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset)
+        s.meter.record_upload(123)
+        rec = s.record_eval()
+        assert rec.uplink_bytes == 123
+        assert rec.round == 0
+        assert 0.0 <= rec.accuracy <= 1.0
+
+    def test_build_tiering_matches_num_tiers(self, tiny_bow_dataset):
+        s = _system(tiny_bow_dataset, num_tiers=4)
+        tiering = s.build_tiering()
+        assert tiering.num_tiers == 4
+        assert tiering.num_clients == tiny_bow_dataset.num_clients
+
+
+class TestTotalFailure:
+    def test_all_clients_dead_terminates(self, tiny_bow_dataset):
+        """If every client drops out immediately, sync loops exit cleanly."""
+        s = _system(
+            tiny_bow_dataset,
+            num_unstable=tiny_bow_dataset.num_clients,
+            dropout_horizon=1e-6,
+            max_rounds=50,
+        )
+        h = s.run()
+        assert s.round <= 1
+        assert len(h) >= 1
+
+    def test_all_clients_dead_fedat_terminates(self, tiny_bow_dataset):
+        s = _system(
+            tiny_bow_dataset,
+            cls=FedAT,
+            compression="polyline:4",
+            num_unstable=tiny_bow_dataset.num_clients,
+            dropout_horizon=1e-6,
+            max_rounds=50,
+        )
+        h = s.run()
+        assert s.round == 0
+        assert len(h) >= 1

@@ -1,0 +1,54 @@
+"""FLConfig validation tests."""
+
+import pytest
+
+from repro.core.config import FLConfig
+
+
+def test_defaults_are_paper_hyperparameters():
+    cfg = FLConfig()
+    assert cfg.clients_per_round == 10
+    assert cfg.local_epochs == 3
+    assert cfg.batch_size == 10
+    assert cfg.lam == 0.4
+    assert cfg.num_tiers == 5
+    assert cfg.optimizer == "adam"
+    assert cfg.compression == "polyline:4"
+
+
+def test_with_replaces_fields():
+    cfg = FLConfig().with_(lam=0.0, max_rounds=7)
+    assert cfg.lam == 0.0 and cfg.max_rounds == 7
+    assert FLConfig().lam == 0.4  # original untouched
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("clients_per_round", 0),
+        ("local_epochs", 0),
+        ("batch_size", 0),
+        ("learning_rate", 0.0),
+        ("lam", -0.1),
+        ("num_tiers", 0),
+        ("max_rounds", 0),
+        ("eval_every", 0),
+        ("optimizer", "lbfgs"),
+        ("server_weighting", "random"),
+        ("fedasync_staleness", "exp"),
+        ("compression", "gzip:9"),
+        ("compression", "polyline:abc"),
+    ],
+)
+def test_rejects_invalid(field, value):
+    with pytest.raises(ValueError):
+        FLConfig(**{field: value})
+
+
+def test_compression_none_allowed():
+    assert FLConfig(compression=None).compression is None
+
+
+def test_frozen():
+    with pytest.raises(Exception):
+        FLConfig().lam = 1.0

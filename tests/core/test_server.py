@@ -1,0 +1,71 @@
+"""TieredServer tests against Algorithm 2's WeightedAverage semantics."""
+
+import numpy as np
+import pytest
+
+from repro.core.server import TieredServer
+
+
+def test_initial_global_is_w0():
+    w0 = np.array([1.0, 2.0, 3.0])
+    s = TieredServer(w0, 3)
+    np.testing.assert_array_equal(s.global_weights, w0)
+    assert s.total_updates == 0
+    assert s.tier_weight_vector() is None
+
+
+def test_first_update_from_fast_tier_weights_stale_slow_models():
+    """After tier 0's first update, tier 0's model gets the *slowest* tier's
+    count share (0) and the slow tiers (still w0) get tier 0's share — the
+    literal Algorithm 2 semantics."""
+    w0 = np.zeros(2)
+    s = TieredServer(w0, 3)
+    new_global = s.submit_tier_update(0, np.array([6.0, 6.0]))
+    # weights = counts[::-1]/T = [0,0,1] → global = tier2 model = w0.
+    np.testing.assert_array_equal(new_global, w0)
+
+
+def test_counts_and_global_after_mixed_updates():
+    w0 = np.zeros(1)
+    s = TieredServer(w0, 2)
+    s.submit_tier_update(0, np.array([4.0]))  # counts [1,0], w=[0,1] → w0
+    g = s.submit_tier_update(1, np.array([8.0]))  # counts [1,1], w=[.5,.5]
+    np.testing.assert_allclose(g, [6.0])
+    assert s.total_updates == 2
+    np.testing.assert_array_equal(s.update_counts, [1, 1])
+
+
+def test_uniform_weighting_mode():
+    s = TieredServer(np.zeros(1), 2, weighting="uniform")
+    g = s.submit_tier_update(0, np.array([4.0]))
+    np.testing.assert_allclose(g, [2.0])  # (4 + 0)/2
+
+
+def test_dynamic_weights_track_update_counts():
+    s = TieredServer(np.zeros(1), 3)
+    for _ in range(6):
+        s.submit_tier_update(0, np.array([1.0]))
+    for _ in range(2):
+        s.submit_tier_update(1, np.array([1.0]))
+    s.submit_tier_update(2, np.array([1.0]))
+    np.testing.assert_allclose(s.tier_weight_vector(), [1 / 9, 2 / 9, 6 / 9])
+
+
+def test_tier_models_copied_not_aliased():
+    s = TieredServer(np.zeros(2), 2)
+    w = np.array([1.0, 1.0])
+    s.submit_tier_update(0, w)
+    w[...] = 99.0
+    np.testing.assert_array_equal(s.tier_models[0], [1.0, 1.0])
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TieredServer(np.zeros(2), 0)
+    with pytest.raises(ValueError):
+        TieredServer(np.zeros(2), 2, weighting="magic")
+    s = TieredServer(np.zeros(2), 2)
+    with pytest.raises(IndexError):
+        s.submit_tier_update(5, np.zeros(2))
+    with pytest.raises(ValueError):
+        s.submit_tier_update(0, np.zeros(3))

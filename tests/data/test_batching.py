@@ -1,0 +1,59 @@
+"""Fixed pseudo-random mini-batch schedule tests."""
+
+import numpy as np
+import pytest
+
+from repro.data.batching import FixedBatchSchedule
+
+
+def test_epoch_covers_all_samples_once():
+    s = FixedBatchSchedule(25, 10, client_id=0, seed=0)
+    seen = np.concatenate(list(s.next_epoch()))
+    np.testing.assert_array_equal(np.sort(seen), np.arange(25))
+
+
+def test_batch_sizes():
+    s = FixedBatchSchedule(25, 10, client_id=0, seed=0)
+    sizes = [b.size for b in s.next_epoch()]
+    assert sizes == [10, 10, 5]
+    assert s.batches_per_epoch() == 3
+
+
+def test_schedule_deterministic_across_instances():
+    a = FixedBatchSchedule(30, 7, client_id=3, seed=42)
+    b = FixedBatchSchedule(30, 7, client_id=3, seed=42)
+    for ba, bb in zip(a.next_epoch(), b.next_epoch()):
+        np.testing.assert_array_equal(ba, bb)
+
+
+def test_different_clients_get_different_schedules():
+    a = FixedBatchSchedule(30, 30, client_id=0, seed=42)
+    b = FixedBatchSchedule(30, 30, client_id=1, seed=42)
+    assert not np.array_equal(next(a.next_epoch()), next(b.next_epoch()))
+
+
+def test_epochs_differ_but_replay_after_reset():
+    s = FixedBatchSchedule(20, 20, client_id=0, seed=1)
+    e0 = next(s.next_epoch())
+    e1 = next(s.next_epoch())
+    assert not np.array_equal(e0, e1)
+    s.reset()
+    np.testing.assert_array_equal(next(s.next_epoch()), e0)
+    assert s.epochs_consumed == 1
+
+
+def test_epoch_order_is_pure_function():
+    s = FixedBatchSchedule(15, 5, client_id=2, seed=9)
+    np.testing.assert_array_equal(s.epoch_order(4), s.epoch_order(4))
+
+
+def test_batch_size_clamped_to_n():
+    s = FixedBatchSchedule(4, 100, client_id=0, seed=0)
+    assert s.batch_size == 4
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        FixedBatchSchedule(0, 5, 0, 0)
+    with pytest.raises(ValueError):
+        FixedBatchSchedule(5, 0, 0, 0)

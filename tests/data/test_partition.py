@@ -1,0 +1,156 @@
+"""Partitioner tests, including hypothesis properties on coverage/exactness."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.partition import (
+    partition_dirichlet,
+    partition_iid,
+    partition_kclass,
+    partition_power_law_sizes,
+)
+
+
+def _labels(n: int, c: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    # Balanced labels with a remainder.
+    return rng.permutation(np.resize(np.arange(c), n))
+
+
+class TestIID:
+    def test_partition_is_exact_cover(self, rng):
+        parts = partition_iid(103, 7, rng)
+        allidx = np.concatenate(parts)
+        assert allidx.size == 103
+        np.testing.assert_array_equal(np.sort(allidx), np.arange(103))
+
+    def test_near_equal_sizes(self, rng):
+        parts = partition_iid(100, 6, rng)
+        sizes = [p.size for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_rejects_too_few_samples(self, rng):
+        with pytest.raises(ValueError):
+            partition_iid(3, 5, rng)
+
+
+class TestKClass:
+    def test_each_client_has_exactly_k_classes(self, rng):
+        labels = _labels(600, 10)
+        parts = partition_kclass(labels, 20, 2, rng)
+        for p in parts:
+            assert len(np.unique(labels[p])) <= 2
+            assert p.size >= 2
+
+    def test_exact_cover_modulo_stealing(self, rng):
+        labels = _labels(400, 10)
+        parts = partition_kclass(labels, 10, 3, rng)
+        allidx = np.concatenate(parts)
+        np.testing.assert_array_equal(np.sort(allidx), np.arange(400))
+
+    def test_k_equals_c_covers_all_classes(self, rng):
+        labels = _labels(500, 5)
+        parts = partition_kclass(labels, 10, 5, rng)
+        for p in parts:
+            assert len(np.unique(labels[p])) == 5
+
+    def test_class_usage_balanced(self, rng):
+        """Each class should be held by roughly num_clients*k/C clients."""
+        labels = _labels(2000, 10)
+        parts = partition_kclass(labels, 50, 2, rng)
+        holders = np.zeros(10)
+        for p in parts:
+            for c in np.unique(labels[p]):
+                holders[c] += 1
+        assert holders.min() >= 5  # expected 10 each
+        assert holders.max() <= 15
+
+    def test_validates_k(self, rng):
+        labels = _labels(100, 5)
+        with pytest.raises(ValueError):
+            partition_kclass(labels, 5, 0, rng)
+        with pytest.raises(ValueError):
+            partition_kclass(labels, 5, 6, rng)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        num_clients=st.integers(2, 12),
+        k=st.integers(1, 4),
+        c=st.integers(4, 8),
+        seed=st.integers(0, 10_000),
+    )
+    def test_property_cover_and_class_bound(self, num_clients, k, c, seed):
+        rng = np.random.default_rng(seed)
+        labels = _labels(40 * c, c, seed)
+        parts = partition_kclass(labels, num_clients, k, rng)
+        allidx = np.concatenate(parts)
+        # No index is assigned twice.
+        assert np.unique(allidx).size == allidx.size
+        if num_clients * k >= c:
+            # Enough client-class slots to cover every class exactly.
+            assert np.array_equal(np.sort(allidx), np.arange(labels.size))
+        for p in parts:
+            # Stealing for empty clients may add ≤ 2 foreign samples.
+            assert len(np.unique(labels[p])) <= k + 2
+            assert p.size >= 2
+
+
+class TestDirichlet:
+    def test_exact_cover(self, rng):
+        labels = _labels(500, 8)
+        parts = partition_dirichlet(labels, 15, 0.5, rng)
+        allidx = np.concatenate(parts)
+        np.testing.assert_array_equal(np.sort(allidx), np.arange(500))
+
+    def test_small_alpha_is_skewed(self):
+        labels = _labels(3000, 10)
+        skewed = partition_dirichlet(labels, 10, 0.05, np.random.default_rng(0))
+        smooth = partition_dirichlet(labels, 10, 100.0, np.random.default_rng(0))
+
+        def mean_entropy(parts):
+            ents = []
+            for p in parts:
+                counts = np.bincount(labels[p], minlength=10)
+                q = counts / counts.sum()
+                q = q[q > 0]
+                ents.append(-(q * np.log(q)).sum())
+            return np.mean(ents)
+
+        assert mean_entropy(skewed) < mean_entropy(smooth) - 0.5
+
+    def test_validates_alpha(self, rng):
+        with pytest.raises(ValueError):
+            partition_dirichlet(_labels(100, 5), 5, 0.0, rng)
+
+
+class TestPowerLaw:
+    def test_sums_to_total(self, rng):
+        counts = partition_power_law_sizes(1000, 30, rng)
+        assert counts.sum() == 1000
+        assert counts.min() >= 2
+
+    def test_skew_present(self, rng):
+        counts = partition_power_law_sizes(10_000, 100, rng, exponent=1.2)
+        assert counts.max() > 4 * np.median(counts)
+
+    def test_min_samples_respected(self, rng):
+        counts = partition_power_law_sizes(500, 20, rng, min_samples=5)
+        assert counts.min() >= 5
+
+    def test_validates_min_samples(self, rng):
+        with pytest.raises(ValueError):
+            partition_power_law_sizes(10, 10, rng, min_samples=5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        n=st.integers(100, 5000),
+        clients=st.integers(2, 50),
+        seed=st.integers(0, 1000),
+    )
+    def test_property_exact_sum(self, n, clients, seed):
+        rng = np.random.default_rng(seed)
+        counts = partition_power_law_sizes(n, clients, rng)
+        assert counts.sum() == n
+        assert np.all(counts >= 2)

@@ -1,0 +1,76 @@
+"""CLI tests (in-process; no subprocess overhead)."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "fedat" in out and "cifar10" in out
+
+
+def test_codecs_command(capsys):
+    assert main(["codecs", "--size", "2000"]) == 0
+    out = capsys.readouterr().out
+    assert "polyline:p4" in out
+    assert "vs float64" in out
+
+
+def test_run_command(capsys, tmp_path):
+    out_path = tmp_path / "hist.json"
+    rc = main(
+        [
+            "run", "--method", "fedavg", "--dataset", "sentiment140",
+            "--scale", "tiny", "--rounds", "3", "--classes-per-client", "2",
+            "--out", str(out_path),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "best accuracy" in out
+    data = json.loads(out_path.read_text())
+    assert data["method"] == "fedavg"
+    assert len(data["records"]) >= 2
+
+
+def test_run_compression_override(capsys):
+    rc = main(
+        [
+            "run", "--method", "fedat", "--dataset", "sentiment140",
+            "--scale", "tiny", "--rounds", "5", "--compression", "none",
+        ]
+    )
+    assert rc == 0
+
+
+def test_compare_command(capsys):
+    rc = main(
+        [
+            "compare", "--dataset", "sentiment140", "--scale", "tiny",
+            "--methods", "fedavg,fedat", "--classes-per-client", "2",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fedavg" in out and "fedat" in out
+    assert "t-to-target" in out
+
+
+def test_compare_rejects_unknown_method(capsys):
+    rc = main(["compare", "--dataset", "sentiment140", "--methods", "sgdboost"])
+    assert rc == 2
+
+
+def test_parser_rejects_unknown_scale():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--method", "fedat",
+                                   "--dataset", "cifar10", "--scale", "huge"])
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,54 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Only the fast examples run in the default suite; the longer ones are
+exercised by the benchmarks that cover the same code paths.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def _run(script: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+def test_quickstart_runs():
+    out = _run("quickstart.py")
+    assert "best accuracy" in out
+    assert "tier updates" in out
+
+
+def test_custom_federation_runs():
+    out = _run("custom_federation.py")
+    assert "best accuracy" in out
+    assert "cross-tier w" in out
+
+
+@pytest.mark.slow
+def test_straggler_robustness_runs():
+    out = _run("straggler_robustness.py")
+    assert "FedAT more robust" in out
+
+
+@pytest.mark.slow
+def test_compression_tradeoff_runs():
+    out = _run("compression_tradeoff.py")
+    assert "vs float64" in out
+
+
+@pytest.mark.slow
+def test_femnist_at_scale_runs():
+    out = _run("femnist_at_scale.py")
+    assert "tier distribution" in out

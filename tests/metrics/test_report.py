@@ -1,0 +1,76 @@
+"""time/bytes-to-accuracy, smoothing and table formatting tests."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.history import EvalRecord, RunHistory
+from repro.metrics.report import (
+    bytes_to_accuracy,
+    format_table,
+    smooth_series,
+    time_to_accuracy,
+)
+
+
+def _history():
+    h = RunHistory("m", "d")
+    accs = [0.1, 0.3, 0.55, 0.7]
+    for i, a in enumerate(accs):
+        h.append(
+            EvalRecord(
+                time=10.0 * i, round=i, accuracy=a, loss=1.0,
+                accuracy_variance=0.0,
+                uplink_bytes=1000 * i, downlink_bytes=500 * i,
+            )
+        )
+    return h
+
+
+def test_time_to_accuracy_first_crossing():
+    h = _history()
+    assert time_to_accuracy(h, 0.5) == 20.0
+    assert time_to_accuracy(h, 0.1) == 0.0
+
+
+def test_time_to_accuracy_unreachable():
+    assert time_to_accuracy(_history(), 0.99) is None
+
+
+def test_bytes_to_accuracy():
+    h = _history()
+    assert bytes_to_accuracy(h, 0.5) == 3000.0
+    assert bytes_to_accuracy(h, 0.99) is None
+
+
+class TestSmooth:
+    def test_window_one_is_identity(self, rng):
+        x = rng.normal(size=20)
+        np.testing.assert_array_equal(smooth_series(x, 1), x)
+
+    def test_trailing_average(self):
+        out = smooth_series(np.array([1.0, 2.0, 3.0, 4.0]), 2)
+        np.testing.assert_allclose(out, [1.0, 1.5, 2.5, 3.5])
+
+    def test_constant_preserved(self):
+        np.testing.assert_allclose(smooth_series(np.full(10, 3.0), 5), 3.0)
+
+    def test_reduces_variance(self, rng):
+        x = rng.normal(size=500)
+        assert smooth_series(x, 10).var() < x.var() / 3
+
+    def test_empty(self):
+        assert smooth_series(np.array([]), 5).size == 0
+
+
+class TestFormatTable:
+    def test_alignment_and_content(self):
+        s = format_table(["name", "value"], [["a", 1.5], ["bbbb", None]])
+        lines = s.splitlines()
+        assert len(lines) == 4
+        assert "name" in lines[0] and "value" in lines[0]
+        assert "1.5000" in lines[2]
+        assert "-" in lines[3]
+
+    def test_empty_rows(self):
+        s = format_table(["h1"], [])
+        assert "h1" in s

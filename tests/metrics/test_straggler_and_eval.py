@@ -1,0 +1,91 @@
+"""Robustness comparison (Definition 3.1) and Evaluator tests."""
+
+import numpy as np
+
+from repro.experiments.config import build_model_builder
+from repro.metrics.evaluation import Evaluator
+from repro.metrics.history import EvalRecord, RunHistory
+from repro.metrics.straggler import compare_robustness
+
+
+def _history(method, accs, var):
+    h = RunHistory(method, "toy")
+    for i, a in enumerate(accs):
+        h.append(
+            EvalRecord(
+                time=float(i), round=i, accuracy=a, loss=1.0,
+                accuracy_variance=var, uplink_bytes=0, downlink_bytes=0,
+            )
+        )
+    return h
+
+
+class TestRobustness:
+    def test_dominant_method_wins_all_criteria(self):
+        a = _history("fedat", [0.1, 0.5, 0.8], var=0.01)
+        b = _history("fedavg", [0.1, 0.2, 0.6], var=0.05)
+        rep = compare_robustness(a, b, target_accuracy=0.5)
+        assert rep.a_converges_faster
+        assert rep.a_lower_variance
+        assert rep.a_higher_accuracy
+        assert rep.a_more_robust
+        assert all(rep.criteria().values())
+
+    def test_unreached_target_counts_as_slower(self):
+        a = _history("a", [0.1, 0.4], var=0.01)
+        b = _history("b", [0.1, 0.6], var=0.02)
+        rep = compare_robustness(a, b, target_accuracy=0.5)
+        assert not rep.a_converges_faster
+        assert not rep.a_more_robust
+
+    def test_both_unreached(self):
+        a = _history("a", [0.1], var=0.01)
+        b = _history("b", [0.1], var=0.02)
+        rep = compare_robustness(a, b, target_accuracy=0.9)
+        assert not rep.a_converges_faster
+
+
+class TestEvaluator:
+    def test_matches_model_evaluate(self, tiny_image_dataset):
+        builder = build_model_builder(tiny_image_dataset, "tiny")
+        model = builder(np.random.default_rng(0))
+        ev = Evaluator(tiny_image_dataset, model)
+        stats = ev.evaluate_flat(model.get_flat_weights())
+        x, y = tiny_image_dataset.global_test_set()
+        direct = model.evaluate(x, y)
+        assert stats["accuracy"] == direct["accuracy"]
+        assert 0.0 <= stats["accuracy_variance"] <= 0.25
+
+    def test_variance_zero_when_all_clients_equal(self, tiny_image_dataset):
+        builder = build_model_builder(tiny_image_dataset, "tiny")
+        model = builder(np.random.default_rng(0))
+        ev = Evaluator(tiny_image_dataset, model)
+        # A constant-prediction model gets per-client accuracy equal to each
+        # client's fraction of the predicted class; variance is generally
+        # nonzero. Instead check determinism of repeated evaluation.
+        s1 = ev.evaluate_flat(model.get_flat_weights())
+        s2 = ev.evaluate_flat(model.get_flat_weights())
+        assert s1 == s2
+
+    def test_max_test_per_client(self, tiny_image_dataset):
+        builder = build_model_builder(tiny_image_dataset, "tiny")
+        model = builder(np.random.default_rng(0))
+        ev = Evaluator(tiny_image_dataset, model, max_test_per_client=1)
+        assert ev.num_samples == tiny_image_dataset.num_clients
+
+    def test_perfect_weights_give_high_accuracy(self, tiny_bow_dataset):
+        """Training on the union of all data must raise evaluator accuracy."""
+        from repro.nn.losses import SoftmaxCrossEntropy
+        from repro.nn.optimizers import Adam
+
+        builder = build_model_builder(tiny_bow_dataset, "tiny")
+        model = builder(np.random.default_rng(0))
+        ev = Evaluator(tiny_bow_dataset, model)
+        before = ev.evaluate_flat(model.get_flat_weights())["accuracy"]
+        x = np.concatenate([c.x_train for c in tiny_bow_dataset.clients])
+        y = np.concatenate([c.y_train for c in tiny_bow_dataset.clients])
+        loss, opt = SoftmaxCrossEntropy(), Adam(0.05)
+        for _ in range(60):
+            model.train_on_batch(x, y, loss, opt)
+        after = ev.evaluate_flat(model.get_flat_weights())["accuracy"]
+        assert after > before + 0.15

@@ -1,0 +1,76 @@
+"""GRU layer tests including BPTT gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gru import GRU
+from repro.nn.layers import Dense
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.model import Sequential
+from repro.nn.optimizers import Adam
+from repro.nn.recurrent import Embedding
+from tests.helpers import check_layer_gradients
+
+
+class TestGRU:
+    def test_output_shapes(self, rng):
+        gru = GRU(5, 7, rng=rng)
+        x = rng.normal(size=(3, 4, 5))
+        assert gru.forward(x).shape == (3, 7)
+        seq = GRU(5, 7, rng=rng, return_sequences=True)
+        assert seq.forward(x).shape == (3, 4, 7)
+
+    def test_hidden_state_bounded(self, rng):
+        gru = GRU(4, 6, rng=rng)
+        out = gru.forward(rng.normal(0, 10, size=(8, 12, 4)))
+        assert np.all(np.abs(out) <= 1.0)
+
+    def test_gradients_last_output(self, rng):
+        gru = GRU(3, 4, rng=rng)
+        check_layer_gradients(
+            gru, rng.normal(size=(2, 5, 3)), rng=rng, atol=1e-5, rtol=1e-3
+        )
+
+    def test_gradients_sequence_output(self, rng):
+        gru = GRU(3, 4, rng=rng, return_sequences=True)
+        check_layer_gradients(
+            gru, rng.normal(size=(2, 4, 3)), rng=rng, atol=1e-5, rtol=1e-3
+        )
+
+    def test_long_sequence_gradients(self, rng):
+        gru = GRU(2, 3, rng=rng)
+        check_layer_gradients(
+            gru, rng.normal(size=(1, 10, 2)), rng=rng, atol=1e-5, rtol=1e-3
+        )
+
+    def test_param_shapes(self, rng):
+        gru = GRU(3, 4, rng=rng)
+        assert gru.wx.shape == (3, 12)
+        assert gru.wh.shape == (4, 12)
+        assert gru.b.shape == (12,)
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            GRU(0, 4, rng=rng)
+
+    def test_learns_last_token_rule(self, rng):
+        model = Sequential(
+            [
+                Embedding(8, 8, rng=rng),
+                GRU(8, 12, rng=rng),
+                Dense(12, 8, rng=rng, name="head"),
+            ],
+            name="gru_clf",
+        )
+        x = rng.integers(0, 8, size=(80, 6))
+        y = x[:, -1]
+        loss, opt = SoftmaxCrossEntropy(), Adam(0.03)
+        for _ in range(60):
+            model.train_on_batch(x, y, loss, opt)
+        assert model.evaluate(x, y)["accuracy"] >= 0.9
+
+    def test_flat_weights_roundtrip(self, rng):
+        model = Sequential([GRU(3, 4, rng=rng)])
+        flat = model.get_flat_weights()
+        model.set_flat_weights(flat)
+        np.testing.assert_array_equal(model.get_flat_weights(), flat)

@@ -1,0 +1,137 @@
+"""Dense / Flatten / Dropout / BatchNorm unit and gradient tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten
+from tests.helpers import check_layer_gradients, numeric_grad
+
+
+class TestDense:
+    def test_forward_shape(self, rng):
+        layer = Dense(5, 3, rng=rng)
+        out = layer.forward(rng.normal(size=(7, 5)))
+        assert out.shape == (7, 3)
+
+    def test_forward_linearity(self, rng):
+        layer = Dense(4, 2, rng=rng)
+        x1, x2 = rng.normal(size=(3, 4)), rng.normal(size=(3, 4))
+        lhs = layer.forward(x1 + x2)
+        rhs = layer.forward(x1) + layer.forward(x2) - layer.b.data
+        np.testing.assert_allclose(lhs, rhs, atol=1e-12)
+
+    def test_gradients(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        check_layer_gradients(layer, rng.normal(size=(5, 4)), rng=rng)
+
+    def test_gradients_time_distributed(self, rng):
+        layer = Dense(4, 3, rng=rng)
+        check_layer_gradients(layer, rng.normal(size=(2, 6, 4)), rng=rng)
+
+    def test_gradient_accumulation(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        x = rng.normal(size=(4, 3))
+        g = rng.normal(size=(4, 2))
+        layer.forward(x)
+        layer.backward(g)
+        once = layer.w.grad.copy()
+        layer.forward(x)
+        layer.backward(g)
+        np.testing.assert_allclose(layer.w.grad, 2 * once)
+
+    def test_rejects_bad_dims(self, rng):
+        with pytest.raises(ValueError):
+            Dense(0, 3, rng=rng)
+        with pytest.raises(ValueError):
+            Dense(3, -1, rng=rng)
+
+    def test_params_order_stable(self, rng):
+        layer = Dense(3, 2, rng=rng)
+        assert [p.name for p in layer.params] == [p.name for p in layer.params]
+        assert len(layer.params) == 2
+
+
+class TestFlatten:
+    def test_roundtrip(self, rng):
+        layer = Flatten()
+        x = rng.normal(size=(3, 4, 5, 2))
+        out = layer.forward(x)
+        assert out.shape == (3, 40)
+        back = layer.backward(out)
+        np.testing.assert_array_equal(back, x)
+
+    def test_gradients(self, rng):
+        check_layer_gradients(Flatten(), rng.normal(size=(2, 3, 4)), rng=rng)
+
+
+class TestDropout:
+    def test_identity_at_inference(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(10, 10))
+        np.testing.assert_array_equal(layer.forward(x, training=False), x)
+
+    def test_inverted_scaling_preserves_mean(self, rng):
+        layer = Dropout(0.3, rng=rng)
+        x = np.ones((200, 200))
+        out = layer.forward(x, training=True)
+        assert abs(out.mean() - 1.0) < 0.02
+
+    def test_mask_applied_in_backward(self, rng):
+        layer = Dropout(0.5, rng=rng)
+        x = rng.normal(size=(20, 20))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        # Gradient must be zero exactly where the output was zeroed.
+        np.testing.assert_array_equal(grad == 0, out == 0)
+
+    def test_zero_rate_is_identity(self, rng):
+        layer = Dropout(0.0, rng=rng)
+        x = rng.normal(size=(5, 5))
+        np.testing.assert_array_equal(layer.forward(x, training=True), x)
+
+    def test_rejects_bad_rate(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng=rng)
+        with pytest.raises(ValueError):
+            Dropout(-0.1, rng=rng)
+
+
+class TestBatchNorm:
+    def test_normalizes_training_batch(self, rng):
+        layer = BatchNorm(6)
+        x = rng.normal(3.0, 2.5, size=(64, 6))
+        out = layer.forward(x, training=True)
+        np.testing.assert_allclose(out.mean(axis=0), 0.0, atol=1e-8)
+        np.testing.assert_allclose(out.std(axis=0), 1.0, atol=1e-2)
+
+    def test_running_stats_track_batch_stats(self, rng):
+        layer = BatchNorm(4, momentum=0.5)
+        x = rng.normal(2.0, 1.0, size=(128, 4))
+        for _ in range(30):
+            layer.forward(x, training=True)
+        np.testing.assert_allclose(layer.running_mean, x.mean(axis=0), atol=1e-3)
+
+    def test_inference_uses_running_stats(self, rng):
+        layer = BatchNorm(4)
+        x = rng.normal(size=(32, 4))
+        layer.forward(x, training=True)
+        out1 = layer.forward(x[:3], training=False)
+        out2 = layer.forward(x[:3], training=False)
+        np.testing.assert_array_equal(out1, out2)
+
+    def test_gradients(self, rng):
+        layer = BatchNorm(3)
+        check_layer_gradients(
+            layer, rng.normal(size=(8, 3)), rng=rng, atol=1e-5, rtol=1e-3
+        )
+
+    def test_gamma_beta_trainable(self, rng):
+        layer = BatchNorm(3)
+        assert {p.name for p in layer.params} == {"bn.gamma", "bn.beta"}
+
+
+def test_numeric_grad_self_check():
+    """The finite-difference helper itself must be right."""
+    x = np.array([1.0, 2.0, -0.5])
+    g = numeric_grad(lambda: float(np.sum(x**2)), x)
+    np.testing.assert_allclose(g, 2 * x, atol=1e-5)

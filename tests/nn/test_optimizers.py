@@ -1,0 +1,104 @@
+"""Optimizer tests on closed-form objectives."""
+
+import numpy as np
+import pytest
+
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.tensor import Parameter
+
+
+def quadratic_step(p: Parameter) -> None:
+    """Set grad of f(w) = ½‖w‖² (minimum at 0)."""
+    p.grad[...] = p.data
+
+
+class TestSGD:
+    def test_plain_step(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        opt = SGD(lr=0.1)
+        quadratic_step(p)
+        opt.step([p])
+        np.testing.assert_allclose(p.data, [0.9, -1.8])
+
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = SGD(lr=0.3)
+        for _ in range(100):
+            quadratic_step(p)
+            opt.step([p])
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-8)
+
+    def test_momentum_accelerates(self):
+        def run(momentum: float) -> float:
+            p = Parameter(np.array([10.0]))
+            opt = SGD(lr=0.05, momentum=momentum)
+            for _ in range(40):
+                quadratic_step(p)
+                opt.step([p])
+            return abs(float(p.data[0]))
+
+        assert run(0.9) < run(0.0)
+
+    def test_grad_cleared_after_step(self):
+        p = Parameter(np.ones(3))
+        opt = SGD(lr=0.1)
+        quadratic_step(p)
+        opt.step([p])
+        np.testing.assert_array_equal(p.grad, 0.0)
+
+    def test_reset_state(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD(lr=0.1, momentum=0.9)
+        quadratic_step(p)
+        opt.step([p])
+        opt.reset_state()
+        assert opt._velocity == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SGD(lr=0.0)
+        with pytest.raises(ValueError):
+            SGD(lr=0.1, momentum=1.0)
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([5.0, -3.0, 0.7]))
+        opt = Adam(lr=0.2)
+        for _ in range(300):
+            quadratic_step(p)
+            opt.step([p])
+        np.testing.assert_allclose(p.data, 0.0, atol=1e-4)
+
+    def test_first_step_magnitude_is_lr(self):
+        """With bias correction, the first Adam step ≈ lr·sign(grad)."""
+        p = Parameter(np.array([1.0, -1.0]))
+        opt = Adam(lr=0.01)
+        p.grad[...] = np.array([3.0, -0.002])
+        opt.step([p])
+        np.testing.assert_allclose(p.data, [1.0 - 0.01, -1.0 + 0.01], atol=1e-4)
+
+    def test_per_parameter_state_isolated(self):
+        p1, p2 = Parameter(np.array([1.0])), Parameter(np.array([100.0]))
+        opt = Adam(lr=0.1)
+        for _ in range(5):
+            quadratic_step(p1)
+            quadratic_step(p2)
+            opt.step([p1, p2])
+        assert len(opt._m) == 2
+
+    def test_reset_state(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam(lr=0.1)
+        quadratic_step(p)
+        opt.step([p])
+        opt.reset_state()
+        assert opt._t == 0 and opt._m == {}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Adam(lr=-1)
+        with pytest.raises(ValueError):
+            Adam(beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam(beta2=-0.1)

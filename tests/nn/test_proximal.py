@@ -1,0 +1,77 @@
+"""FedProx/FedAT proximal term tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optimizers import SGD
+from repro.nn.proximal import ProximalTerm
+from repro.nn.zoo import build_mlp
+
+
+def test_zero_lambda_is_noop(rng):
+    prox = ProximalTerm(0.0)
+    m = build_mlp(4, 2, rng=rng)
+    prox.set_reference([p.data.copy() for p in m.params])
+    for p in m.params:
+        p.grad[...] = 1.0
+    prox(m.params)
+    for p in m.params:
+        np.testing.assert_array_equal(p.grad, 1.0)
+
+
+def test_gradient_direction_points_to_reference(rng):
+    prox = ProximalTerm(2.0)
+    m = build_mlp(4, 2, rng=rng)
+    ref = [p.data + 1.0 for p in m.params]  # reference above current weights
+    prox.set_reference(ref)
+    prox(m.params)
+    for p in m.params:
+        # grad += λ (w − ref) = 2 · (−1) = −2
+        np.testing.assert_allclose(p.grad, -2.0)
+
+
+def test_penalty_value(rng):
+    prox = ProximalTerm(0.4)
+    m = build_mlp(3, 2, rng=rng)
+    ref = [p.data - 0.5 for p in m.params]
+    prox.set_reference(ref)
+    n = m.num_params
+    np.testing.assert_allclose(prox.penalty(m.params), 0.5 * 0.4 * 0.25 * n, rtol=1e-9)
+
+
+def test_penalty_zero_without_reference(rng):
+    m = build_mlp(3, 2, rng=rng)
+    assert ProximalTerm(0.4).penalty(m.params) == 0.0
+
+
+def test_negative_lambda_rejected():
+    with pytest.raises(ValueError):
+        ProximalTerm(-0.1)
+
+
+def test_mismatched_reference_rejected(rng):
+    prox = ProximalTerm(1.0)
+    m = build_mlp(3, 2, rng=rng)
+    prox.set_reference([m.params[0].data.copy()])
+    with pytest.raises(ValueError):
+        prox(m.params)
+
+
+def test_constraint_keeps_weights_near_global(rng):
+    """Training with a large λ must stay closer to the reference than λ=0."""
+    x = rng.normal(size=(30, 6))
+    y = rng.integers(0, 3, size=30)
+    loss = SoftmaxCrossEntropy()
+
+    def distance_after_training(lam: float) -> float:
+        m = build_mlp(6, 3, rng=np.random.default_rng(0))
+        ref_flat = m.get_flat_weights()
+        prox = ProximalTerm(lam)
+        prox.set_reference([p.data.copy() for p in m.params])
+        opt = SGD(lr=0.2)
+        for _ in range(50):
+            m.train_on_batch(x, y, loss, opt, grad_hook=prox if lam > 0 else None)
+        return float(np.linalg.norm(m.get_flat_weights() - ref_flat))
+
+    assert distance_after_training(5.0) < distance_after_training(0.0) * 0.7

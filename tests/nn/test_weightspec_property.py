@@ -1,0 +1,63 @@
+"""Property-based tests for WeightSpec marshalling (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.model import WeightSpec
+
+shapes_strategy = st.lists(
+    st.lists(st.integers(1, 5), min_size=1, max_size=3).map(tuple),
+    min_size=1,
+    max_size=6,
+).map(tuple)
+
+
+@settings(max_examples=50, deadline=None)
+@given(shapes=shapes_strategy, seed=st.integers(0, 2**31 - 1))
+def test_split_join_is_identity(shapes, seed):
+    spec = WeightSpec(shapes)
+    rng = np.random.default_rng(seed)
+    flat = rng.normal(size=spec.total)
+    rebuilt = spec.join(spec.split(flat))
+    np.testing.assert_array_equal(rebuilt, flat)
+
+
+@settings(max_examples=50, deadline=None)
+@given(shapes=shapes_strategy, seed=st.integers(0, 2**31 - 1))
+def test_join_split_is_identity(shapes, seed):
+    spec = WeightSpec(shapes)
+    rng = np.random.default_rng(seed)
+    arrays = [rng.normal(size=s) for s in shapes]
+    out = spec.split(spec.join(arrays))
+    for a, b in zip(arrays, out):
+        np.testing.assert_array_equal(a, b)
+
+
+@settings(max_examples=30, deadline=None)
+@given(shapes=shapes_strategy)
+def test_offsets_are_contiguous_partition(shapes):
+    spec = WeightSpec(shapes)
+    offs = spec.offsets()
+    assert offs[0][0] == 0
+    assert offs[-1][1] == spec.total
+    for (a0, a1), (b0, b1) in zip(offs, offs[1:]):
+        assert a1 == b0
+        assert a1 > a0 or a0 == a1  # sizes are positive here, so strict
+
+    # Sizes are consistent with shapes.
+    assert list(spec.sizes) == [int(np.prod(s)) for s in shapes]
+
+
+@settings(max_examples=30, deadline=None)
+@given(shapes=shapes_strategy, seed=st.integers(0, 1000))
+def test_split_views_do_not_alias_each_other(shapes, seed):
+    """Mutating one split tensor must not corrupt siblings through overlap."""
+    spec = WeightSpec(shapes)
+    rng = np.random.default_rng(seed)
+    flat = rng.normal(size=spec.total)
+    parts = spec.split(flat.copy())
+    baseline = [p.copy() for p in parts]
+    parts[0][...] = 1e9
+    for p, b in zip(parts[1:], baseline[1:]):
+        np.testing.assert_array_equal(p, b)

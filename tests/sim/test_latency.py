@@ -1,0 +1,99 @@
+"""Latency model tests: paper's delay bands, compute model, expectations."""
+
+import numpy as np
+import pytest
+
+from repro.sim.latency import (
+    PAPER_DELAY_BANDS,
+    ComputeModel,
+    ResponseLatencyModel,
+    TierDelayModel,
+)
+
+
+class TestTierDelayModel:
+    def test_even_split_sizes(self, rng):
+        m = TierDelayModel.even_split(103, rng)
+        counts = np.bincount(m.assignment, minlength=5)
+        assert counts.sum() == 103
+        assert counts.max() - counts.min() <= 1
+
+    def test_from_counts(self, rng):
+        m = TierDelayModel.from_counts([5, 0, 3, 1, 1], rng)
+        counts = np.bincount(m.assignment, minlength=5)
+        np.testing.assert_array_equal(counts, [5, 0, 3, 1, 1])
+
+    def test_counts_length_validated(self, rng):
+        with pytest.raises(ValueError):
+            TierDelayModel.from_counts([5, 5], rng)
+
+    def test_paper_bands_sampling_ranges(self, rng):
+        m = TierDelayModel.even_split(50, rng, shuffle=False)
+        # client 0 in part 0 (0s), client 49 in part 4 (20-30s).
+        assert m.sample_delay(0, rng) == 0.0
+        for _ in range(20):
+            d = m.sample_delay(49, rng)
+            assert 20.0 <= d <= 30.0
+
+    def test_expected_delay(self, rng):
+        m = TierDelayModel.even_split(50, rng, shuffle=False)
+        assert m.expected_delay(0) == 0.0
+        assert m.expected_delay(49) == 25.0
+
+    def test_invalid_band_rejected(self, rng):
+        with pytest.raises(ValueError):
+            TierDelayModel.from_counts([2, 2], rng, bands=((0, 1), (5, 3)))
+
+    def test_shuffle_permutes_assignment(self):
+        a = TierDelayModel.even_split(40, np.random.default_rng(0), shuffle=True)
+        b = TierDelayModel.even_split(40, np.random.default_rng(0), shuffle=False)
+        assert not np.array_equal(a.assignment, b.assignment)
+        np.testing.assert_array_equal(np.sort(a.assignment), np.sort(b.assignment))
+
+
+class TestComputeModel:
+    def test_linear_in_samples_and_epochs(self):
+        c = ComputeModel(per_sample=0.01, base=0.5)
+        assert c.duration(10, 3) == pytest.approx(0.5 + 0.3)
+        assert c.duration(0, 0) == 0.5
+
+    def test_validates_negatives(self):
+        with pytest.raises(ValueError):
+            ComputeModel().duration(-1, 1)
+
+
+class TestResponseLatencyModel:
+    def _model(self, rng, bandwidth=None):
+        delays = TierDelayModel.even_split(10, rng, shuffle=False)
+        return ResponseLatencyModel(
+            delays, ComputeModel(0.01, 0.1), bandwidth_bytes_per_s=bandwidth
+        )
+
+    def test_fast_client_latency_is_compute_only(self, rng):
+        m = self._model(rng)
+        lat = m.round_latency(0, 20, 3, rng)
+        assert lat == pytest.approx(0.1 + 0.01 * 60)
+
+    def test_slow_client_latency_includes_delay(self, rng):
+        m = self._model(rng)
+        lat = m.round_latency(9, 20, 3, rng)
+        assert lat >= 20.0
+
+    def test_bandwidth_adds_transfer_time(self, rng):
+        m = self._model(rng, bandwidth=1000.0)
+        base = m.round_latency(0, 10, 1, rng)
+        with_payload = m.round_latency(0, 10, 1, rng, payload_bytes=2000)
+        assert with_payload == pytest.approx(base + 2.0)
+
+    def test_expected_latency_matches_mean(self, rng):
+        m = self._model(rng)
+        exp = m.expected_latency(9, 20, 3)
+        draws = [m.round_latency(9, 20, 3, rng) for _ in range(3000)]
+        assert abs(np.mean(draws) - exp) < 0.3
+
+    def test_stragglers_dominate_ordering(self, rng):
+        """Expected latency is monotonically non-decreasing in part index —
+        the structural fact tiering relies on."""
+        m = self._model(rng)
+        lats = [m.expected_latency(c, 20, 3) for c in range(10)]
+        assert lats == sorted(lats)

@@ -1,0 +1,66 @@
+"""RNG factory tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import SeedSequenceFactory, spawn_rngs
+
+
+class TestSpawn:
+    def test_independent_streams(self):
+        r1, r2 = spawn_rngs(0, 2)
+        assert not np.allclose(r1.random(100), r2.random(100))
+
+    def test_reproducible(self):
+        a = spawn_rngs(7, 3)
+        b = spawn_rngs(7, 3)
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x.random(10), y.random(10))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_ok(self):
+        assert spawn_rngs(0, 0) == []
+
+
+class TestFactory:
+    def test_same_name_same_stream(self):
+        f = SeedSequenceFactory(3)
+        np.testing.assert_array_equal(f.rng("x").random(5), f.rng("x").random(5))
+
+    def test_different_names_differ(self):
+        f = SeedSequenceFactory(3)
+        assert not np.allclose(f.rng("x").random(20), f.rng("y").random(20))
+
+    def test_order_independence(self):
+        """Adding consumers must not perturb existing streams."""
+        f1 = SeedSequenceFactory(5)
+        _ = f1.rng("a")
+        v1 = f1.rng("b").random(5)
+        f2 = SeedSequenceFactory(5)
+        v2 = f2.rng("b").random(5)  # "a" never requested
+        np.testing.assert_array_equal(v1, v2)
+
+    def test_seed_changes_all_streams(self):
+        a = SeedSequenceFactory(1).rng("x").random(10)
+        b = SeedSequenceFactory(2).rng("x").random(10)
+        assert not np.allclose(a, b)
+
+    def test_none_seed_defaults_to_zero(self):
+        a = SeedSequenceFactory(None).rng("x").random(5)
+        b = SeedSequenceFactory(0).rng("x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_child_namespacing(self):
+        f = SeedSequenceFactory(9)
+        direct = f.rng("sub/leaf").random(5)
+        via_child = f.child("sub").rng("leaf").random(5)
+        np.testing.assert_array_equal(direct, via_child)
+
+    def test_integers_helper(self):
+        f = SeedSequenceFactory(0)
+        v = f.integers("ints", 10, high=100)
+        assert v.shape == (10,)
+        assert np.all((0 <= v) & (v < 100))

@@ -1,0 +1,71 @@
+"""Serialization and validation helper tests."""
+
+import numpy as np
+import pytest
+
+from repro.utils.serialization import load_json, save_json, to_jsonable
+from repro.utils.validation import (
+    check_fraction,
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probability_vector,
+)
+
+
+class TestSerialization:
+    def test_numpy_types_converted(self):
+        obj = {
+            "i": np.int64(4),
+            "f": np.float32(1.5),
+            "b": np.bool_(True),
+            "arr": np.arange(3),
+            "nested": [np.float64(2.0), {"x": np.int32(1)}],
+        }
+        out = to_jsonable(obj)
+        assert out == {"i": 4, "f": 1.5, "b": True, "arr": [0, 1, 2],
+                       "nested": [2.0, {"x": 1}]}
+
+    def test_save_load_roundtrip(self, tmp_path):
+        path = tmp_path / "sub" / "result.json"
+        save_json(path, {"a": np.float64(0.5), "b": [1, 2]})
+        assert load_json(path) == {"a": 0.5, "b": [1, 2]}
+
+    def test_creates_parent_dirs(self, tmp_path):
+        p = save_json(tmp_path / "x" / "y" / "z.json", [1])
+        assert p.exists()
+
+
+class TestValidation:
+    def test_check_positive(self):
+        assert check_positive("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_positive("x", 0.0)
+
+    def test_check_non_negative(self):
+        assert check_non_negative("x", 0.0) == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_fraction(self):
+        assert check_fraction("x", 0.0) == 0.0
+        assert check_fraction("x", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_fraction("x", 1.1)
+        with pytest.raises(ValueError):
+            check_fraction("x", 0.0, inclusive=False)
+
+    def test_check_probability_vector(self):
+        p = check_probability_vector("p", np.array([0.3, 0.7]))
+        np.testing.assert_array_equal(p, [0.3, 0.7])
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([0.5, 0.6]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([[0.5], [0.5]]))
+        with pytest.raises(ValueError):
+            check_probability_vector("p", np.array([-0.1, 1.1]))
+
+    def test_check_in(self):
+        assert check_in("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError):
+            check_in("mode", "c", ("a", "b"))
