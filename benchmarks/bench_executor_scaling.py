@@ -1,0 +1,106 @@
+"""Executor scaling: client-training throughput, serial vs process pool.
+
+Measures clients trained per second on a 200-client federation cohort at
+1/2/4 pool workers against the shared-model serial baseline, and verifies
+the parallel results stay bit-identical to serial while doing it. Run with
+
+    python -m pytest benchmarks/bench_executor_scaling.py -q -s
+
+``REPRO_SMOKE=1`` shrinks the federation (24 clients) so CI can exercise
+the full pipeline in seconds; throughput numbers are only meaningful at
+full size on a multi-core machine (expect >=1.5x at 4 workers).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from repro.data.datasets import make_dataset
+from repro.exec import CohortTask, OptimizerSpec, ParallelExecutor, SerialExecutor
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.zoo import build_cnn
+from repro.sim.client import SimClient
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+NUM_CLIENTS = 24 if SMOKE else 200
+SAMPLES_PER_CLIENT = 16 if SMOKE else 32
+WORKER_COUNTS = (1, 2, 4)
+
+
+def _setup():
+    rng = np.random.default_rng(0)
+    dataset = make_dataset(
+        "cifar10",
+        rng,
+        num_clients=NUM_CLIENTS,
+        samples_per_client=SAMPLES_PER_CLIENT,
+        image_shape=(8, 8, 3),
+        classes_per_client=2,
+    )
+    model = build_cnn(
+        (8, 8, 3), dataset.num_classes,
+        rng=np.random.default_rng(1), filters=(6, 12, 12), dense_units=24,
+    )
+    clients = [SimClient(c, None, batch_size=10, seed=0) for c in dataset.clients]
+    tasks = [
+        CohortTask(client_id=i, epochs=1, lam=0.4, latency=1.0, start_epoch=0)
+        for i in range(NUM_CLIENTS)
+    ]
+    return model, clients, tasks
+
+
+def _fingerprint(results):
+    return [(r.client_id, r.train_loss, r.weights.tobytes()) for r in results]
+
+
+def test_executor_scaling(artifact):
+    model, clients, tasks = _setup()
+    loss, opt = SoftmaxCrossEntropy(), OptimizerSpec("adam", 0.005)
+    start = model.get_flat_weights()
+
+    serial = SerialExecutor(model.clone(), clients, loss, opt)
+    t0 = time.perf_counter()
+    baseline = serial.run_cohort(start, tasks)
+    serial_dt = time.perf_counter() - t0
+    reference = _fingerprint(baseline)
+
+    rows = [("serial", serial_dt, len(tasks) / serial_dt, 1.0)]
+    for workers in WORKER_COUNTS:
+        with ParallelExecutor(
+            model, clients, loss, opt, num_workers=workers
+        ) as executor:
+            # Warm the pool (process startup + initializer) outside timing:
+            # a long-lived system pays that cost once, not per cohort. The
+            # warmup cohort must be >= min_dispatch or it runs in-process
+            # and never touches the pool.
+            executor.run_cohort(start, tasks[: max(workers, executor.min_dispatch)])
+            t0 = time.perf_counter()
+            results = executor.run_cohort(start, tasks)
+            dt = time.perf_counter() - t0
+        assert _fingerprint(results) == reference, (
+            f"parallel({workers}) results diverge from serial"
+        )
+        rows.append((f"parallel({workers})", dt, len(tasks) / dt, serial_dt / dt))
+
+    print(f"\nexecutor scaling — {NUM_CLIENTS} clients, 1 epoch, "
+          f"{os.cpu_count()} CPUs{' [smoke]' if SMOKE else ''}")
+    print(f"{'backend':<14}{'wall (s)':>10}{'clients/s':>12}{'speedup':>9}")
+    for name, dt, rate, speedup in rows:
+        print(f"{name:<14}{dt:>10.2f}{rate:>12.1f}{speedup:>8.2f}x")
+
+    artifact(
+        "executor_scaling",
+        {
+            "num_clients": NUM_CLIENTS,
+            "cpu_count": os.cpu_count(),
+            "smoke": SMOKE,
+            "rows": [
+                {"backend": n, "wall_s": dt, "clients_per_s": r, "speedup": s}
+                for n, dt, r, s in rows
+            ],
+        },
+    )
+    assert all(rate > 0 for _, _, rate, _ in rows)

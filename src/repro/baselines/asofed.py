@@ -46,25 +46,27 @@ class ASOFed(FLSystem):
         self.global_weights = self._copy_sum / self._k
 
     def _launch(self, client_id: int, queue: EventQueue) -> None:
-        received = self.send_down(self.global_weights, n_receivers=1)
-        latency = self.sample_latency(client_id)
-        start, finish = queue.now, queue.now + latency
-        if not self.failures.will_complete(client_id, start, finish):
-            return
-        # ASO-Fed clients regularize toward the global model (local
-        # constraint), unlike FedAsync.
-        res = self.train_client(client_id, received, latency, lam=self.config.lam)
-        payload = self.codec.encode(res.weights)
-        queue.schedule_at(
-            finish,
-            _ClientDone(client_id, self.codec.decode(payload), payload.nbytes),
-        )
+        self._launch_cohort([client_id], queue)
 
-    def run(self) -> RunHistory:
+    def _launch_cohort(self, client_ids: list[int], queue: EventQueue) -> None:
+        """Start cycles for clients departing from the current global model
+        (the initial mass launch; singletons at steady state). Unlike
+        FedAsync, clients regularize toward the global model (local
+        constraint λ)."""
+        cohort = self.train_departing_cohort(
+            client_ids, queue.now, lam=self.config.lam
+        )
+        nbytes = self.uplink_roundtrip([res for res, _ in cohort])
+        for (res, finish), nb in zip(cohort, nbytes):
+            queue.schedule_at(
+                finish,
+                _ClientDone(res.client_id, res.weights, nb),
+            )
+
+    def _run(self) -> RunHistory:
         queue = EventQueue()
         self.record_eval()
-        for cid in self.alive(range(self.dataset.num_clients), 0.0):
-            self._launch(cid, queue)
+        self._launch_cohort(self.alive(range(self.dataset.num_clients), 0.0), queue)
         while not queue.empty and not self.budget_exhausted():
             ev = queue.pop()
             self.now = ev.time

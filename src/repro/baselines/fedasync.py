@@ -60,29 +60,34 @@ class FedAsync(FLSystem):
 
     def _launch(self, client_id: int, queue: EventQueue) -> None:
         """Start one client cycle: download, train, schedule the upload."""
-        received = self.send_down(self.global_weights, n_receivers=1)
-        latency = self.sample_latency(client_id)
-        start, finish = queue.now, queue.now + latency
-        if not self.failures.will_complete(client_id, start, finish):
-            return  # the client dies mid-round and never comes back
-        res = self.train_client(client_id, received, latency, lam=0.0)
-        payload = self.codec.encode(res.weights)
-        queue.schedule_at(
-            finish,
-            _ClientDone(
-                client_id=client_id,
-                start_version=self.round,
-                weights=self.codec.decode(payload),
-                n_samples=res.n_samples,
-                uplink_bytes=payload.nbytes,
-            ),
-        )
+        self._launch_cohort([client_id], queue)
 
-    def run(self) -> RunHistory:
+    def _launch_cohort(self, client_ids: list[int], queue: EventQueue) -> None:
+        """Start cycles for clients that all depart from the current model.
+
+        At steady state cohorts are singletons (each upload immediately
+        relaunches that one client), but the initial mass launch trains the
+        whole alive population from ``w0`` — a genuine cohort the executor
+        can fan out.
+        """
+        cohort = self.train_departing_cohort(client_ids, queue.now, lam=0.0)
+        nbytes = self.uplink_roundtrip([res for res, _ in cohort])
+        for (res, finish), nb in zip(cohort, nbytes):
+            queue.schedule_at(
+                finish,
+                _ClientDone(
+                    client_id=res.client_id,
+                    start_version=self.round,
+                    weights=res.weights,
+                    n_samples=res.n_samples,
+                    uplink_bytes=nb,
+                ),
+            )
+
+    def _run(self) -> RunHistory:
         queue = EventQueue()
         self.record_eval()
-        for cid in self.alive(range(self.dataset.num_clients), 0.0):
-            self._launch(cid, queue)
+        self._launch_cohort(self.alive(range(self.dataset.num_clients), 0.0), queue)
         while not queue.empty and not self.budget_exhausted():
             ev = queue.pop()
             self.now = ev.time

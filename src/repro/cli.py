@@ -48,6 +48,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--lam", type=float, default=None)
     run_p.add_argument("--compression", default="default",
                        help='e.g. "polyline:4", "quant:8", "none"')
+    run_p.add_argument("--executor", default=None, choices=["serial", "parallel"],
+                       help="client-execution backend (default: serial)")
+    run_p.add_argument("--num-workers", type=int, default=None,
+                       help="parallel pool size (0 = CPU count)")
     run_p.add_argument("--out", default=None, help="write history JSON here")
 
     cmp_p = sub.add_parser("compare", help="run several methods side by side")
@@ -60,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--target-fraction", type=float, default=0.9,
                        help="time-to-target threshold as a fraction of the "
                        "first method's best accuracy")
+    cmp_p.add_argument("--executor", default=None, choices=["serial", "parallel"],
+                       help="client-execution backend (default: serial)")
+    cmp_p.add_argument("--num-workers", type=int, default=None,
+                       help="parallel pool size (0 = CPU count)")
 
     codec_p = sub.add_parser("codecs", help="compression ratios on synthetic weights")
     codec_p.add_argument("--size", type=int, default=20_000)
@@ -84,6 +92,10 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
     compression = getattr(args, "compression", "default")
     if compression != "default":
         kwargs["compression"] = None if compression == "none" else compression
+    if getattr(args, "executor", None) is not None:
+        kwargs["executor"] = args.executor
+    if getattr(args, "num_workers", None) is not None:
+        kwargs["num_workers"] = args.num_workers
     return kwargs
 
 

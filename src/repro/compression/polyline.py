@@ -23,17 +23,22 @@ import numpy as np
 
 __all__ = ["polyline_encode", "polyline_decode", "MAX_ABS_VALUE"]
 
-# 5-bit chunks; int64 zigzag values must fit in 62 bits to avoid overflow.
+# 5-bit chunks: zigzagged deltas must fit in _MAX_CHUNKS * 5 = 60 bits.
 _MAX_CHUNKS = 12
 #: Largest representable |value| at precision ``p`` is MAX_ABS_VALUE / 10**p.
-MAX_ABS_VALUE = float(2**61)
+#: The binding constraint is the *delta* between consecutive scaled values:
+#: two extremes ±M produce a delta of 2M whose zigzag is 4M, which must fit
+#: the 60-bit chunk budget — so M < 2**58 (not 2**61, which would let
+#: per-value-legal sequences overflow at decode time).
+MAX_ABS_VALUE = float(2**58)
 
 
 def polyline_encode(values: np.ndarray, precision: int = 5) -> str:
     """Encode a 1-D float array into a polyline ASCII string.
 
     Raises ``ValueError`` for non-finite input or values too large for the
-    chosen precision (|v| * 10^p must fit in 62 bits).
+    chosen precision (|v| * 10^p must stay below ``MAX_ABS_VALUE`` = 2^58,
+    so that worst-case zigzagged *deltas* fit the 60-bit chunk budget).
     """
     if not 0 <= precision <= 12:
         raise ValueError(f"precision must be in [0, 12], got {precision}")

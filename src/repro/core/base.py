@@ -19,11 +19,11 @@ import numpy as np
 from repro.compression.codec import Codec, NullCodec, make_codec
 from repro.core.config import FLConfig
 from repro.data.federated import FederatedDataset
+from repro.exec import CohortTask, OptimizerSpec, make_executor, roundtrip_batch
 from repro.metrics.evaluation import Evaluator
 from repro.metrics.history import EvalRecord, RunHistory
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import Sequential
-from repro.nn.optimizers import SGD, Adam, Optimizer
 from repro.sim.client import LocalTrainingResult, SimClient
 from repro.sim.failures import UnstableClientPolicy
 from repro.sim.latency import ComputeModel, ResponseLatencyModel, TierDelayModel
@@ -58,7 +58,8 @@ class FLSystem:
         self.config = config
         self.factory = SeedSequenceFactory(config.seed)
 
-        # Single shared worker model (the event loop serializes training).
+        # Worker model: the serial executor trains every client through this
+        # shared instance; the parallel executor clones it per pool worker.
         self.worker = model_builder(self.factory.rng("model/init"))
         self.initial_flat = self.worker.get_flat_weights()
         self.evaluator = Evaluator(dataset, self.worker)
@@ -91,6 +92,19 @@ class FLSystem:
         codec = make_codec(config.compression) if self.uses_compression else NullCodec()
         self.codec: Codec = codec
 
+        # Client-execution engine: cohorts of local rounds go through here.
+        # Per-client batch-schedule cursors live with the system (not the
+        # executor) so every backend replays identical mini-batch orders.
+        self._epoch_cursor = np.zeros(dataset.num_clients, dtype=np.int64)
+        self.executor = make_executor(
+            config.executor,
+            model=self.worker,
+            clients=self.clients,
+            loss=self.loss,
+            optimizer=self.optimizer_spec(),
+            num_workers=config.num_workers,
+        )
+
         self.history = RunHistory(
             method=self.name,
             dataset=dataset.name,
@@ -111,11 +125,9 @@ class FLSystem:
     # ------------------------------------------------------------------ #
     # Building blocks
     # ------------------------------------------------------------------ #
-    def optimizer_factory(self) -> Callable[[], Optimizer]:
-        cfg = self.config
-        if cfg.optimizer == "adam":
-            return lambda: Adam(cfg.learning_rate)
-        return lambda: SGD(cfg.learning_rate)
+    def optimizer_spec(self) -> OptimizerSpec:
+        """Picklable recipe for the per-round local solver."""
+        return OptimizerSpec(self.config.optimizer, self.config.learning_rate)
 
     def send_down(self, flat: np.ndarray, n_receivers: int = 1) -> np.ndarray:
         """Server→client transfer: encode once, charge each receiver, return
@@ -133,6 +145,28 @@ class FLSystem:
         payload = self.codec.encode(flat)
         self.meter.record_upload(payload.nbytes)
         return self.codec.decode(payload)
+
+    def send_up_cohort(self, flats: list[np.ndarray]) -> list[np.ndarray]:
+        """Batched client→server transfers for one cohort's responses."""
+        decoded, payloads = roundtrip_batch(self.codec, flats)
+        for p in payloads:
+            self.meter.record_upload(p.nbytes)
+        return decoded
+
+    def uplink_roundtrip(self, results: list[LocalTrainingResult]) -> list[int]:
+        """Codec-roundtrip each result's weights **in place**, returning wire
+        bytes per result.
+
+        Unlike :meth:`send_up_cohort` this does not meter: the async methods
+        charge uplink bytes at each result's virtual finish time (when its
+        completion event pops), not at training time.
+        """
+        decoded, payloads = roundtrip_batch(
+            self.codec, [r.weights for r in results]
+        )
+        for res, weights in zip(results, decoded):
+            res.weights = weights
+        return [p.nbytes for p in payloads]
 
     def alive(self, client_ids, at_time: float | None = None) -> list[int]:
         """Clients still participating at a given virtual time."""
@@ -157,6 +191,45 @@ class FLSystem:
             epochs, self._latency_rng, payload_bytes=payload
         )
 
+    def make_task(
+        self,
+        client_id: int,
+        latency: float,
+        *,
+        epochs: int | None = None,
+        lam: float | None = None,
+    ) -> CohortTask:
+        """Allocate one client's local round (advances its schedule cursor).
+
+        Build tasks in the order clients would have trained serially: the
+        cursor allocation is the only stateful step, and keeping it in the
+        main process is what lets the executor run the actual training
+        anywhere.
+        """
+        cfg = self.config
+        epochs = cfg.local_epochs if epochs is None else epochs
+        start_epoch = int(self._epoch_cursor[client_id])
+        self._epoch_cursor[client_id] += epochs
+        return CohortTask(
+            client_id=client_id,
+            epochs=epochs,
+            lam=cfg.lam if lam is None else lam,
+            latency=latency,
+            start_epoch=start_epoch,
+        )
+
+    def train_cohort(
+        self, tasks: list[CohortTask], start_weights: np.ndarray
+    ) -> list[LocalTrainingResult]:
+        """Run a cohort of local rounds from ``start_weights``.
+
+        Results come back in task order and are bit-identical across
+        executor backends (see ``tests/exec/test_equivalence.py``).
+        """
+        if not tasks:
+            return []
+        return self.executor.run_cohort(start_weights, tasks)
+
     def train_client(
         self,
         client_id: int,
@@ -166,17 +239,32 @@ class FLSystem:
         epochs: int | None = None,
         lam: float | None = None,
     ) -> LocalTrainingResult:
-        """Run one client's local round from ``start_weights``."""
-        cfg = self.config
-        return self.clients[client_id].local_train(
-            self.worker,
-            start_weights,
-            epochs=cfg.local_epochs if epochs is None else epochs,
-            loss=self.loss,
-            optimizer_factory=self.optimizer_factory(),
-            lam=cfg.lam if lam is None else lam,
-            latency=latency,
-        )
+        """Run one client's local round (a singleton cohort)."""
+        task = self.make_task(client_id, latency, epochs=epochs, lam=lam)
+        return self.train_cohort([task], start_weights)[0]
+
+    def train_departing_cohort(
+        self, client_ids: list[int], now: float, *, lam: float | None = None
+    ) -> list[tuple[LocalTrainingResult, float]]:
+        """Download + train clients that all depart from the current global
+        model at virtual time ``now`` (the async-method launch pattern).
+
+        Charges one downlink per client, samples latencies in launch order,
+        silently drops clients that die mid-round, and returns
+        ``(result, virtual finish time)`` pairs for the survivors.
+        """
+        if not client_ids:
+            return []
+        received = self.send_down(self.global_weights, n_receivers=len(client_ids))
+        tasks, finishes = [], []
+        for cid in client_ids:
+            latency = self.sample_latency(cid)
+            finish = now + latency
+            if not self.failures.will_complete(cid, now, finish):
+                continue  # dies mid-round and never comes back
+            tasks.append(self.make_task(cid, latency, lam=lam))
+            finishes.append(finish)
+        return list(zip(self.train_cohort(tasks, received), finishes))
 
     def build_tiering(self):
         """Profile clients and split them into ``num_tiers`` latency tiers.
@@ -225,6 +313,13 @@ class FLSystem:
 
     # ------------------------------------------------------------------ #
     def run(self) -> RunHistory:
+        """Execute the full experiment, releasing the executor afterwards."""
+        try:
+            return self._run()
+        finally:
+            self.executor.close()
+
+    def _run(self) -> RunHistory:
         raise NotImplementedError
 
 
@@ -261,7 +356,7 @@ class SyncFLSystem(FLSystem):
     def on_round_end(self) -> None:
         """Hook for subclasses (e.g. TiFL credit/probability refresh)."""
 
-    def run(self) -> RunHistory:
+    def _run(self) -> RunHistory:
         self.record_eval()  # round-0 baseline point
         while not self.budget_exhausted():
             cohort = self.choose_cohort()
@@ -269,7 +364,7 @@ class SyncFLSystem(FLSystem):
                 break  # every client dropped out
             start = self.now
             received = self.send_down(self.global_weights, n_receivers=len(cohort))
-            results: list[LocalTrainingResult] = []
+            tasks: list[CohortTask] = []
             round_end = start
             for cid in cohort:
                 latency = self.sample_latency(cid, self.client_epochs(cid))
@@ -277,15 +372,17 @@ class SyncFLSystem(FLSystem):
                 round_end = max(round_end, finish)
                 if not self.failures.will_complete(cid, start, finish):
                     continue  # client dropped mid-round; server hears nothing
-                res = self.train_client(
-                    cid,
-                    received,
-                    latency,
-                    epochs=self.client_epochs(cid),
-                    lam=self.client_lambda(cid),
+                tasks.append(
+                    self.make_task(
+                        cid,
+                        latency,
+                        epochs=self.client_epochs(cid),
+                        lam=self.client_lambda(cid),
+                    )
                 )
-                res.weights = self.send_up(res.weights)
-                results.append(res)
+            results = self.train_cohort(tasks, received)
+            for res, weights in zip(results, self.send_up_cohort([r.weights for r in results])):
+                res.weights = weights
             self.now = round_end
             if results:
                 self.aggregate(results)

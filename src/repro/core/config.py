@@ -45,6 +45,13 @@ class FLConfig:
     compute_base: float = 0.5
     bandwidth_bytes_per_s: float | None = None
 
+    # --- client execution -------------------------------------------------#
+    # Backend that runs cohorts of local-training tasks: "serial" trains
+    # through one shared worker model; "parallel" fans out to a process pool
+    # of model replicas (bit-identical histories, see repro.exec).
+    executor: str = "serial"
+    num_workers: int = 0  # parallel pool size; 0 => CPU count
+
     # --- communication ----------------------------------------------------#
     compression: str | None = "polyline:4"  # FedAT default; None => float32
 
@@ -86,6 +93,10 @@ class FLConfig:
             raise ValueError("eval_every must be >= 1")
         if self.optimizer not in ("adam", "sgd"):
             raise ValueError(f"unknown optimizer {self.optimizer!r}")
+        if self.executor not in ("serial", "parallel"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 means CPU count)")
         if self.server_weighting not in ("dynamic", "uniform"):
             raise ValueError(f"unknown server_weighting {self.server_weighting!r}")
         if self.fedasync_staleness not in ("constant", "poly", "hinge"):

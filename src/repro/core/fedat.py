@@ -16,6 +16,7 @@ import numpy as np
 from repro.core.aggregation import sample_weighted_average
 from repro.core.base import FLSystem
 from repro.core.server import TieredServer
+from repro.exec import CohortTask
 from repro.metrics.history import RunHistory
 from repro.sim.events import EventQueue
 from repro.tiering.tiers import Tiering
@@ -67,7 +68,7 @@ class FedAT(FLSystem):
             return False
         start = queue.now
         received = self.send_down(self.global_weights, n_receivers=len(cohort))
-        results = []
+        tasks: list[CohortTask] = []
         round_end = start
         for cid in cohort:
             latency = self.sample_latency(cid)
@@ -75,14 +76,13 @@ class FedAT(FLSystem):
             round_end = max(round_end, finish)
             if not self.failures.will_complete(cid, start, finish):
                 continue  # drops out mid-round; server never hears back
-            res = self.train_client(cid, received, latency)
-            payload = self.codec.encode(res.weights)
-            res.weights = self.codec.decode(payload)
-            results.append((res, payload.nbytes))
+            tasks.append(self.make_task(cid, latency))
+        trained = self.train_cohort(tasks, received)
+        results = list(zip(trained, self.uplink_roundtrip(trained)))
         queue.schedule_at(round_end, _TierRoundDone(tier, results))
         return True
 
-    def run(self) -> RunHistory:
+    def _run(self) -> RunHistory:
         queue = EventQueue()
         self.record_eval()
         active_tiers = 0

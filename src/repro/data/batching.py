@@ -39,6 +39,30 @@ class FixedBatchSchedule:
         """Rewind to epoch 0 (schedules replay identically after reset)."""
         self._epoch = 0
 
+    def advance_to(self, epoch: int) -> None:
+        """Jump the cursor to ``epoch`` (cheap: orders are pure functions).
+
+        The executor layer owns per-client epoch cursors so cohorts can be
+        trained out of process; after an explicit-epoch round it fast-forwards
+        the schedule so :attr:`epochs_consumed` stays coherent for callers
+        that still use the stateful :meth:`next_epoch` protocol.
+        """
+        if epoch < 0:
+            raise ValueError(f"epoch must be non-negative, got {epoch}")
+        self._epoch = epoch
+
+    def epochs(self, start_epoch: int, count: int):
+        """Yield batch index arrays for ``count`` epochs from ``start_epoch``.
+
+        Stateless companion to :meth:`next_epoch`: the batches depend only on
+        ``(seed, client_id, epoch_index)``, so serial and parallel executors
+        replay identical schedules from an explicit cursor.
+        """
+        for e in range(start_epoch, start_epoch + count):
+            order = self.epoch_order(e)
+            for start in range(0, self.n, self.batch_size):
+                yield order[start : start + self.batch_size]
+
     def epoch_order(self, epoch: int) -> np.ndarray:
         """The fixed permutation for a given epoch index."""
         rng = self._factory.rng(f"client/{self.client_id}/epoch/{epoch}")

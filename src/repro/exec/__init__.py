@@ -1,0 +1,36 @@
+"""Client-execution engine.
+
+Within a round (or tier cohort) client training is embarrassingly parallel:
+the event loop only needs each client's result at its virtual finish time,
+not serial execution. This package owns *how* a cohort of local-training
+tasks is executed:
+
+- :class:`SerialExecutor` — one shared worker model, clients trained in
+  cohort order (the original simulator behavior, and the default);
+- :class:`ParallelExecutor` — a process pool with per-worker model replicas
+  rebuilt via :meth:`repro.nn.model.Sequential.clone`, chunked cohort
+  dispatch, and bit-identical results (enforced by ``tests/exec/``).
+
+Determinism contract: a :class:`CohortTask` carries everything a round
+depends on — explicit batch-schedule cursor (``start_epoch``), epoch count,
+proximal λ, pre-sampled latency — so local training is a pure function of
+``(task, start_weights)`` and both backends produce identical
+:class:`~repro.sim.client.LocalTrainingResult` records.
+"""
+
+from repro.exec.base import ClientExecutor, CohortTask, OptimizerSpec, make_executor
+from repro.exec.parallel import ParallelExecutor
+from repro.exec.payloads import decode_batch, encode_batch, roundtrip_batch
+from repro.exec.serial import SerialExecutor
+
+__all__ = [
+    "ClientExecutor",
+    "CohortTask",
+    "OptimizerSpec",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "make_executor",
+    "encode_batch",
+    "decode_batch",
+    "roundtrip_batch",
+]

@@ -1,0 +1,113 @@
+"""Executor abstraction: cohort tasks, optimizer specs, backend registry."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from repro.nn.optimizers import SGD, Adam, Optimizer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.sim.client import LocalTrainingResult
+
+__all__ = ["CohortTask", "OptimizerSpec", "ClientExecutor", "make_executor"]
+
+
+@dataclass(frozen=True)
+class CohortTask:
+    """One client's local round, fully specified up front.
+
+    The algorithm layer pre-samples the latency and allocates the batch
+    schedule cursor *before* dispatch, so executing the task touches no
+    shared RNG stream — the property that lets backends run tasks in any
+    process without perturbing the simulation.
+    """
+
+    client_id: int
+    epochs: int
+    lam: float  # proximal constraint λ toward the start weights
+    latency: float  # pre-sampled response latency (virtual seconds)
+    start_epoch: int  # batch-schedule cursor at round start
+
+    def __post_init__(self):
+        if self.epochs < 1:
+            raise ValueError(f"epochs must be >= 1, got {self.epochs}")
+        if self.start_epoch < 0:
+            raise ValueError(f"start_epoch must be >= 0, got {self.start_epoch}")
+
+
+@dataclass(frozen=True)
+class OptimizerSpec:
+    """Picklable recipe for the per-round local solver.
+
+    Cross-process executors cannot ship closures, so the optimizer travels
+    as data and is rebuilt fresh for every task (optimizer state never
+    persists across rounds, per the paper's §6 setup).
+    """
+
+    kind: str = "adam"
+    learning_rate: float = 0.005
+
+    def __post_init__(self):
+        if self.kind not in ("adam", "sgd"):
+            raise ValueError(f"unknown optimizer {self.kind!r}")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+    def build(self) -> Optimizer:
+        if self.kind == "adam":
+            return Adam(self.learning_rate)
+        return SGD(self.learning_rate)
+
+
+class ClientExecutor:
+    """Executes cohorts of local-training tasks.
+
+    Backends must return results **in task order** and produce bit-identical
+    :class:`LocalTrainingResult` records for the same ``(start_weights,
+    tasks)`` regardless of how execution is scheduled.
+    """
+
+    name = "base"
+
+    def run_cohort(
+        self, start_weights: np.ndarray, tasks: Sequence[CohortTask]
+    ) -> "list[LocalTrainingResult]":
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release backend resources; idempotent."""
+
+    def __enter__(self) -> "ClientExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def make_executor(
+    spec: str,
+    *,
+    model,
+    clients,
+    loss,
+    optimizer: OptimizerSpec,
+    num_workers: int = 0,
+) -> ClientExecutor:
+    """Build an executor backend from its config name.
+
+    ``"serial"`` trains through the shared worker model; ``"parallel"``
+    fans cohorts out to a process pool (``num_workers=0`` → CPU count).
+    """
+    from repro.exec.parallel import ParallelExecutor
+    from repro.exec.serial import SerialExecutor
+
+    if spec == "serial":
+        return SerialExecutor(model, clients, loss, optimizer)
+    if spec == "parallel":
+        return ParallelExecutor(
+            model, clients, loss, optimizer, num_workers=num_workers
+        )
+    raise ValueError(f"unknown executor {spec!r}; options: serial, parallel")

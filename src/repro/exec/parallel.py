@@ -1,0 +1,162 @@
+"""Process-pool backend with per-worker model replicas.
+
+Each pool worker holds one structural clone of the worker model
+(:meth:`Sequential.clone`) plus latency-model-free client replicas
+(:meth:`SimClient.replica`). A cohort is split into contiguous chunks — one
+per busy worker — so the broadcast start-weight vector is pickled once per
+chunk rather than once per client, and results come back in task order.
+
+Bit-identical guarantee: tasks carry explicit batch-schedule cursors and
+pre-sampled latencies, local training consumes no RNG, and every float op
+runs on the same NumPy substrate — so replica results match the shared
+serial model exactly (enforced by ``tests/exec/test_equivalence.py``).
+Models whose layers carry hidden cross-call state (dropout RNG streams,
+batch-norm running statistics) cannot satisfy that guarantee; for those the
+executor degrades to the serial path and records why.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import warnings
+from typing import Sequence
+
+import numpy as np
+
+from repro.exec.base import ClientExecutor, CohortTask, OptimizerSpec
+from repro.exec.serial import SerialExecutor
+from repro.nn.losses import Loss
+from repro.nn.model import Sequential
+from repro.sim.client import LocalTrainingResult, SimClient
+
+__all__ = ["ParallelExecutor"]
+
+#: Per-process worker state, populated by the pool initializer.
+_WORKER: dict = {}
+
+
+def _init_worker(model: Sequential, clients: dict, loss: Loss, optimizer: OptimizerSpec):
+    # One SerialExecutor per worker process: chunk execution reuses the
+    # exact task->local_train mapping of the serial backend, so the two
+    # paths cannot drift apart.
+    _WORKER["executor"] = SerialExecutor(model, clients, loss, optimizer)
+
+
+def _train_chunk(
+    payload: tuple[np.ndarray, list[CohortTask]]
+) -> list[LocalTrainingResult]:
+    start_weights, tasks = payload
+    return _WORKER["executor"].run_cohort(start_weights, tasks)
+
+
+def _resolve_workers(num_workers: int) -> int:
+    if num_workers < 0:
+        raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+    if num_workers == 0:
+        return max(os.cpu_count() or 1, 1)
+    return num_workers
+
+
+class ParallelExecutor(ClientExecutor):
+    """Fan cohorts out to ``num_workers`` processes (0 → CPU count).
+
+    The pool is created lazily on the first cohort and torn down by
+    :meth:`close` (systems close their executor when ``run()`` returns).
+    """
+
+    name = "parallel"
+
+    def __init__(
+        self,
+        model: Sequential,
+        clients: Sequence[SimClient],
+        loss: Loss,
+        optimizer: OptimizerSpec,
+        *,
+        num_workers: int = 0,
+        start_method: str | None = None,
+    ):
+        self.num_workers = _resolve_workers(num_workers)
+        self._pool = None
+        self._fallback: SerialExecutor | None = None
+        self.fallback_reason: str | None = None
+        # Cohorts below this size skip the pool and run in-process (the
+        # async baselines' steady-state singletons pay a full IPC round-trip
+        # for zero parallelism otherwise). Bit-identical either way by the
+        # replica-safety contract, so the path choice is unobservable.
+        self.min_dispatch = 2
+        if not model.replica_safe:
+            self.fallback_reason = (
+                f"model {model.name!r} has layers with cross-call state "
+                "(dropout RNG / batch-norm statistics); falling back to "
+                "serial execution to preserve bit-identical histories"
+            )
+            warnings.warn(self.fallback_reason, RuntimeWarning, stacklevel=2)
+            self._fallback = SerialExecutor(model, clients, loss, optimizer)
+            return
+        if start_method is None:
+            # fork shares the parent's address space (cheap replica setup)
+            # but is only reliably safe on Linux: macOS lists "fork" yet
+            # forking after NumPy/Accelerate initialization can crash or
+            # deadlock workers (which is why its platform default is spawn).
+            # Elsewhere use the platform default; results are identical
+            # either way since workers get the same initializer state.
+            start_method = "fork" if sys.platform == "linux" else None
+        self._ctx = multiprocessing.get_context(start_method)
+        self._init_args = (
+            model.clone(),
+            {c.client_id: c.replica() for c in clients},
+            loss,
+            optimizer,
+        )
+        # In-process executor over the same replica set, for sub-min_dispatch
+        # cohorts. (SerialExecutor indexes clients by id; the dict satisfies
+        # that.)
+        self._local = SerialExecutor(
+            self._init_args[0], self._init_args[1], loss, optimizer
+        )
+
+    # ------------------------------------------------------------------ #
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._ctx.Pool(
+                processes=self.num_workers,
+                initializer=_init_worker,
+                initargs=self._init_args,
+            )
+        return self._pool
+
+    @staticmethod
+    def _chunk(tasks: Sequence[CohortTask], n: int) -> list[list[CohortTask]]:
+        """Contiguous near-even split preserving task order."""
+        n = min(n, len(tasks))
+        bounds = np.linspace(0, len(tasks), n + 1).astype(int)
+        return [list(tasks[a:b]) for a, b in zip(bounds[:-1], bounds[1:]) if b > a]
+
+    def run_cohort(
+        self, start_weights: np.ndarray, tasks: Sequence[CohortTask]
+    ) -> list[LocalTrainingResult]:
+        if self._fallback is not None:
+            return self._fallback.run_cohort(start_weights, tasks)
+        if not tasks:
+            return []
+        if len(tasks) < self.min_dispatch:
+            return self._local.run_cohort(start_weights, tasks)
+        pool = self._ensure_pool()
+        chunks = self._chunk(tasks, self.num_workers)
+        results = pool.map(_train_chunk, [(start_weights, c) for c in chunks])
+        return [res for chunk in results for res in chunk]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __del__(self):  # pragma: no cover - GC safety net
+        try:
+            self.close()
+        except Exception:
+            pass

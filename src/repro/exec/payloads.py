@@ -1,0 +1,39 @@
+"""Batched codec helpers for cohort payloads.
+
+The algorithm layer moves whole cohorts of weight vectors across the
+simulated network at once (uplink after a round, downlink broadcast before
+one). These helpers keep that traffic in list form so call sites meter and
+transform payloads uniformly instead of hand-rolling per-client loops.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.compression.codec import Codec, Payload
+
+__all__ = ["encode_batch", "decode_batch", "roundtrip_batch"]
+
+
+def encode_batch(codec: Codec, arrays: Sequence[np.ndarray]) -> list[Payload]:
+    """Encode each flat weight vector in ``arrays`` (cohort order)."""
+    return [codec.encode(a) for a in arrays]
+
+
+def decode_batch(codec: Codec, payloads: Sequence[Payload]) -> list[np.ndarray]:
+    """Decode a batch of payloads back to flat vectors (cohort order)."""
+    return [codec.decode(p) for p in payloads]
+
+
+def roundtrip_batch(
+    codec: Codec, arrays: Sequence[np.ndarray]
+) -> tuple[list[np.ndarray], list[Payload]]:
+    """Encode+decode a cohort — what a send/receive pair does end to end.
+
+    Returns the (possibly lossy) decoded vectors plus the wire payloads so
+    callers can meter ``nbytes`` per client.
+    """
+    payloads = encode_batch(codec, arrays)
+    return decode_batch(codec, payloads), payloads

@@ -106,6 +106,12 @@ class Dropout(Layer):
         self.rate = rate
         self._rng = rng
 
+    @property
+    def replica_safe(self) -> bool:
+        # The mask RNG is consumed in training-call order, so independent
+        # copies draw different masks than one shared instance would.
+        return self.rate == 0.0
+
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if not training or self.rate == 0.0:
             self._mask = None
@@ -138,6 +144,10 @@ class BatchNorm(Layer):
         self.eps = eps
         self.running_mean = np.zeros(num_features)
         self.running_var = np.ones(num_features)
+
+    #: Running statistics accumulate across training calls, so replicas
+    #: diverge from a shared instance (classic FL BN-state caveat).
+    replica_safe = False
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if training:

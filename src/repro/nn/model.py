@@ -9,6 +9,7 @@ metadata the paper transmits alongside compressed weights, §4.3).
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 
 import numpy as np
@@ -186,3 +187,31 @@ class Sequential:
     def clone_weights_from(self, other: "Sequential") -> None:
         """Copy weights from a structurally identical model."""
         self.set_flat_weights(other.get_flat_weights())
+
+    # ------------------------------------------------------------------ #
+    # Replication (executor support)
+    # ------------------------------------------------------------------ #
+    @property
+    def replica_safe(self) -> bool:
+        """True when independent copies train identically to this instance.
+
+        Layers that carry hidden state across training calls — dropout's RNG
+        stream, batch-norm's running statistics — make a shared serial model
+        and per-worker replicas diverge, so models containing them cannot be
+        parallelized bit-identically. Layers opt out via a ``replica_safe``
+        attribute; everything weight-only is safe by default.
+        """
+        return all(getattr(layer, "replica_safe", True) for layer in self.layers)
+
+    def clone(self, weights: np.ndarray | None = None) -> "Sequential":
+        """Deep-copy the model, optionally rebuilding weights from a flat
+        vector (validated against this model's :class:`WeightSpec`).
+
+        This is the replica path the parallel executor uses: one structural
+        clone per worker process, then per-cohort ``set_flat_weights`` from
+        the broadcast start vector.
+        """
+        replica = copy.deepcopy(self)
+        if weights is not None:
+            replica.set_flat_weights(weights)  # validates against the spec
+        return replica

@@ -1,9 +1,10 @@
 """Simulated FL client: local training + latency sampling.
 
-To keep 100–500-client simulations cheap, clients do not own model
-instances. The algorithm layer passes a single shared *worker model* whose
-weights are swapped per client — valid because the event simulator
-serializes local training in virtual-time order.
+Clients do not own model instances: the execution layer (``repro.exec``)
+passes in whichever worker model should run the round — the single shared
+instance under the serial executor, or a per-process replica under the
+parallel executor. Training is a pure function of ``(start weights, batch
+schedule cursor, epochs, λ)``, so both modes produce identical results.
 """
 
 from __future__ import annotations
@@ -50,7 +51,7 @@ class SimClient:
     def __init__(
         self,
         data: ClientData,
-        latency_model: ResponseLatencyModel,
+        latency_model: ResponseLatencyModel | None,
         *,
         batch_size: int = 10,
         seed: int = 0,
@@ -58,9 +59,21 @@ class SimClient:
         self.data = data
         self.client_id = data.client_id
         self.latency_model = latency_model
+        self.batch_size = batch_size
+        self.seed = seed
         self.schedule = FixedBatchSchedule(
             data.num_train, batch_size, data.client_id, seed
         )
+
+    def replica(self) -> "SimClient":
+        """A latency-model-free copy safe to ship to worker processes.
+
+        Replicas share the immutable training data and rebuild a fresh batch
+        schedule; they can only :meth:`local_train` with an explicit
+        ``start_epoch`` + ``latency`` (the executor supplies both), never
+        sample latencies.
+        """
+        return SimClient(self.data, None, batch_size=self.batch_size, seed=self.seed)
 
     @property
     def n_train(self) -> int:
@@ -70,6 +83,11 @@ class SimClient:
         self, epochs: int, rng: np.random.Generator, *, payload_bytes: int = 0
     ) -> float:
         """Draw this round's response latency."""
+        if self.latency_model is None:
+            raise RuntimeError(
+                f"client {self.client_id} is a worker replica without a "
+                "latency model; latencies are sampled in the main process"
+            )
         return self.latency_model.round_latency(
             self.client_id, self.n_train, epochs, rng, payload_bytes=payload_bytes
         )
@@ -88,8 +106,15 @@ class SimClient:
         lam: float = 0.0,
         latency: float | None = None,
         rng: np.random.Generator | None = None,
+        start_epoch: int | None = None,
     ) -> LocalTrainingResult:
         """Run E local epochs starting from ``global_flat``.
+
+        With ``start_epoch`` the mini-batch schedule is replayed statelessly
+        from that cursor (batches are pure functions of the epoch index), so
+        the round is a deterministic function of its inputs — the property the
+        parallel executor relies on for bit-identical histories. Without it,
+        the client's stateful schedule advances as before.
 
         Returns the new flat weights; the worker model is left holding them
         (callers must not rely on worker state across clients).
@@ -105,13 +130,20 @@ class SimClient:
 
         x, y = self.data.x_train, self.data.y_train
         losses: list[float] = []
-        for _ in range(epochs):
-            for batch_idx in self.schedule.next_epoch():
-                losses.append(
-                    worker.train_on_batch(
-                        x[batch_idx], y[batch_idx], loss, optimizer, grad_hook=hook
-                    )
+        if start_epoch is None:
+            batches = (
+                idx for _ in range(epochs) for idx in self.schedule.next_epoch()
+            )
+        else:
+            batches = self.schedule.epochs(start_epoch, epochs)
+        for batch_idx in batches:
+            losses.append(
+                worker.train_on_batch(
+                    x[batch_idx], y[batch_idx], loss, optimizer, grad_hook=hook
                 )
+            )
+        if start_epoch is not None:
+            self.schedule.advance_to(start_epoch + epochs)
         if latency is None:
             if rng is None:
                 raise ValueError("provide either latency or rng")

@@ -103,6 +103,119 @@ class TestTopKCodec:
             TopKCodec(1.5)
 
 
+#: Values that historically break codecs: signed zeros, subnormals, huge
+#: and tiny magnitudes (the largest stays well inside polyline's delta
+#: budget at precision 4).
+_EDGE_VALUES = [
+    0.0, -0.0,
+    5e-324, -5e-324,  # smallest subnormals
+    2.2250738585072014e-308,  # smallest normal
+    1e-40, -1e-40,
+    1e8, -1e8, 123456.789,
+]
+
+_edge_floats = st.one_of(
+    st.floats(
+        min_value=-1e8, max_value=1e8, allow_nan=False, allow_subnormal=True
+    ),
+    st.sampled_from(_EDGE_VALUES),
+)
+
+_edge_arrays = st.lists(_edge_floats, min_size=0, max_size=64).map(
+    lambda xs: np.array(xs, dtype=np.float64)
+)
+
+
+class TestEdgeInputProperties:
+    """Hypothesis round-trip properties on adversarial inputs.
+
+    Every codec must survive empty vectors, ±0.0, subnormals, and large
+    magnitudes: same length out as in, finite output, correct byte
+    accounting, and codec-specific error bounds.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(flat=_edge_arrays)
+    def test_every_codec_survives_edge_vectors(self, flat):
+        for codec in (
+            NullCodec(),
+            PolylineCodec(4),
+            QuantizationCodec(8),
+            TopKCodec(0.5),
+        ):
+            out, payload = codec.roundtrip(flat.copy())
+            assert out.size == flat.size
+            assert payload.n_values == flat.size
+            assert np.all(np.isfinite(out))
+            assert payload.nbytes >= 0
+            if flat.size == 0:
+                assert payload.nbytes == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(flat=_edge_arrays, precision=st.integers(1, 6))
+    def test_polyline_error_bounded_by_precision(self, flat, precision):
+        out, _ = PolylineCodec(precision).roundtrip(flat)
+        # Delta encoding is exact in int64, so the only loss is the initial
+        # rounding to `precision` decimals.
+        atol = 0.5000001 * 10.0 ** (-precision)
+        np.testing.assert_allclose(out, flat, atol=atol, rtol=1e-12)
+
+    @settings(max_examples=60, deadline=None)
+    @given(flat=_edge_arrays)
+    def test_signed_zeros_and_subnormals_decode_to_zero(self, flat):
+        tiny = np.abs(flat) < 1e-9
+        out, _ = PolylineCodec(4).roundtrip(flat)
+        np.testing.assert_array_equal(out[tiny], np.zeros(int(tiny.sum())))
+
+    @settings(max_examples=60, deadline=None)
+    @given(flat=_edge_arrays, bits=st.integers(2, 12))
+    def test_quantization_error_bounded_on_edges(self, flat, bits):
+        out, payload = QuantizationCodec(bits).roundtrip(flat)
+        assert out.size == flat.size
+        if flat.size:
+            span = flat.max() - flat.min()
+            if span == 0:
+                np.testing.assert_allclose(out, flat)
+            else:
+                bound = span / (2**bits - 1) / 2
+                assert np.max(np.abs(out - flat)) <= bound * (1 + 1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        magnitude=st.floats(min_value=1.0, max_value=1e30),
+        precision=st.integers(1, 6),
+    )
+    def test_polyline_large_magnitudes_roundtrip_or_reject(self, magnitude, precision):
+        """Below the delta-safe magnitude bound values round-trip; above it
+        the encoder refuses loudly instead of silently corrupting weights."""
+        from repro.compression.polyline import MAX_ABS_VALUE
+
+        limit = MAX_ABS_VALUE / 10.0**precision
+        flat = np.array([magnitude, -magnitude])
+        codec = PolylineCodec(precision)
+        if magnitude >= limit:
+            with pytest.raises(ValueError):
+                codec.encode(flat)
+        else:
+            out, _ = codec.roundtrip(flat)
+            np.testing.assert_allclose(
+                out, flat, atol=0.5000001 * 10.0 ** (-precision), rtol=1e-12
+            )
+
+    def test_empty_vector_roundtrips(self):
+        for codec in (
+            NullCodec(),
+            PolylineCodec(4),
+            QuantizationCodec(8),
+            TopKCodec(0.5),
+            make_codec("subsample:0.5"),
+        ):
+            out, payload = codec.roundtrip(np.array([]))
+            assert out.size == 0
+            assert payload.nbytes == 0
+            assert payload.n_values == 0
+
+
 class TestFactory:
     def test_none_gives_null(self):
         assert isinstance(make_codec(None), NullCodec)

@@ -1,0 +1,101 @@
+"""Serial/parallel equivalence regression harness.
+
+The hard requirement that makes parallel client execution safe: for any
+method, seed, and model, :class:`ParallelExecutor` must produce
+**bit-identical** :class:`RunHistory` records to :class:`SerialExecutor` —
+same accuracies, same losses, same byte meters, same virtual times. Tasks
+carry explicit batch-schedule cursors and pre-sampled latencies, so local
+training is a pure function of its inputs and executors are free to
+schedule it anywhere.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.baselines.asofed import ASOFed
+from repro.baselines.fedasync import FedAsync
+from repro.baselines.fedavg import FedAvg
+from repro.core.config import FLConfig
+from repro.core.fedat import FedAT
+from repro.experiments.config import build_model_builder
+
+_BUDGETS = {FedAT: 12, FedAvg: 4, FedAsync: 25, ASOFed: 25}
+
+
+def _config(cls, seed, executor):
+    return FLConfig(
+        clients_per_round=4,
+        local_epochs=2,
+        max_rounds=_BUDGETS[cls],
+        eval_every=2,
+        num_tiers=3,
+        num_unstable=2,
+        seed=seed,
+        compression="polyline:4" if cls is FedAT else None,
+        executor=executor,
+        num_workers=2 if executor == "parallel" else 0,
+    )
+
+
+def _history(dataset, cls, seed, executor):
+    system = cls(
+        dataset, build_model_builder(dataset, "tiny"), _config(cls, seed, executor)
+    )
+    return system.run()
+
+
+def _assert_identical(serial, parallel):
+    assert serial.method == parallel.method
+    assert len(serial.records) == len(parallel.records)
+    for s, p in zip(serial.records, parallel.records):
+        # dataclass equality is exact float equality — bit-identical or bust.
+        assert dataclasses.asdict(s) == dataclasses.asdict(p)
+
+
+@pytest.mark.parametrize("cls", [FedAT, FedAvg], ids=["fedat", "fedavg"])
+@pytest.mark.parametrize("seed", [0, 1])
+def test_parallel_history_bit_identical(tiny_bow_dataset, cls, seed):
+    serial = _history(tiny_bow_dataset, cls, seed, "serial")
+    parallel = _history(tiny_bow_dataset, cls, seed, "parallel")
+    _assert_identical(serial, parallel)
+
+
+@pytest.mark.parametrize("cls", [FedAsync, ASOFed], ids=["fedasync", "asofed"])
+def test_parallel_history_bit_identical_async(tiny_bow_dataset, cls):
+    """The async methods' launch path (batched initial cohort, singleton
+    steady-state cohorts through the in-process fast path) must also be
+    bit-identical across executors."""
+    serial = _history(tiny_bow_dataset, cls, 0, "serial")
+    parallel = _history(tiny_bow_dataset, cls, 0, "parallel")
+    _assert_identical(serial, parallel)
+
+
+def test_parallel_matches_on_image_cnn(tiny_image_dataset):
+    """The conv stack exercises a different numeric path than logistic."""
+    serial = _history(tiny_image_dataset, FedAT, 0, "serial")
+    parallel = _history(tiny_image_dataset, FedAT, 0, "parallel")
+    _assert_identical(serial, parallel)
+
+
+def test_parallel_meters_match_serial(tiny_bow_dataset):
+    """Byte meters accumulate identically (uplink, downlink, messages)."""
+    a = FedAT(
+        tiny_bow_dataset,
+        build_model_builder(tiny_bow_dataset, "tiny"),
+        _config(FedAT, 0, "serial"),
+    )
+    b = FedAT(
+        tiny_bow_dataset,
+        build_model_builder(tiny_bow_dataset, "tiny"),
+        _config(FedAT, 0, "parallel"),
+    )
+    a.run()
+    b.run()
+    assert a.meter.uplink_bytes == b.meter.uplink_bytes
+    assert a.meter.downlink_bytes == b.meter.downlink_bytes
+    assert a.meter.uplink_messages == b.meter.uplink_messages
+    assert a.meter.downlink_messages == b.meter.downlink_messages
+    np.testing.assert_array_equal(a.global_weights, b.global_weights)
+    np.testing.assert_array_equal(a._epoch_cursor, b._epoch_cursor)

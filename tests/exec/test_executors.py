@@ -1,0 +1,259 @@
+"""Unit tests for the client-execution engine (repro.exec)."""
+
+import numpy as np
+import pytest
+
+from repro.exec import (
+    CohortTask,
+    OptimizerSpec,
+    ParallelExecutor,
+    SerialExecutor,
+    decode_batch,
+    encode_batch,
+    make_executor,
+    roundtrip_batch,
+)
+from repro.compression.codec import PolylineCodec
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.zoo import build_logistic, build_lstm_classifier
+from repro.sim.client import SimClient
+
+
+def _clients(dataset, batch_size=10, seed=0):
+    return [
+        SimClient(c, None, batch_size=batch_size, seed=seed) for c in dataset.clients
+    ]
+
+
+def _model(dataset, seed=0):
+    return build_logistic(
+        dataset.input_shape[0], dataset.num_classes, rng=np.random.default_rng(seed)
+    )
+
+
+def _cohort(n, epochs=1, lam=0.0):
+    return [
+        CohortTask(client_id=i, epochs=epochs, lam=lam, latency=1.0 + i, start_epoch=0)
+        for i in range(n)
+    ]
+
+
+class TestCohortTask:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CohortTask(0, epochs=0, lam=0.0, latency=1.0, start_epoch=0)
+        with pytest.raises(ValueError):
+            CohortTask(0, epochs=1, lam=0.0, latency=1.0, start_epoch=-1)
+
+
+class TestOptimizerSpec:
+    def test_builds_fresh_instances(self):
+        spec = OptimizerSpec("adam", 0.01)
+        a, b = spec.build(), spec.build()
+        assert isinstance(a, Adam) and a is not b
+        assert isinstance(OptimizerSpec("sgd", 0.1).build(), SGD)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OptimizerSpec("rmsprop", 0.01)
+        with pytest.raises(ValueError):
+            OptimizerSpec("adam", 0.0)
+
+
+class TestFactory:
+    def test_backends(self, tiny_bow_dataset):
+        kwargs = dict(
+            model=_model(tiny_bow_dataset),
+            clients=_clients(tiny_bow_dataset),
+            loss=SoftmaxCrossEntropy(),
+            optimizer=OptimizerSpec("sgd", 0.1),
+        )
+        assert isinstance(make_executor("serial", **kwargs), SerialExecutor)
+        par = make_executor("parallel", num_workers=2, **kwargs)
+        assert isinstance(par, ParallelExecutor)
+        assert par.num_workers == 2
+        par.close()
+        with pytest.raises(ValueError):
+            make_executor("gpu", **kwargs)
+
+    def test_zero_workers_resolves_to_cpu_count(self, tiny_bow_dataset):
+        par = make_executor(
+            "parallel",
+            num_workers=0,
+            model=_model(tiny_bow_dataset),
+            clients=_clients(tiny_bow_dataset),
+            loss=SoftmaxCrossEntropy(),
+            optimizer=OptimizerSpec("sgd", 0.1),
+        )
+        assert par.num_workers >= 1
+        par.close()
+
+
+class TestSerialExecutor:
+    def test_results_in_task_order(self, tiny_bow_dataset):
+        ex = SerialExecutor(
+            _model(tiny_bow_dataset),
+            _clients(tiny_bow_dataset),
+            SoftmaxCrossEntropy(),
+            OptimizerSpec("sgd", 0.1),
+        )
+        start = ex.model.get_flat_weights()
+        results = ex.run_cohort(start, _cohort(5))
+        assert [r.client_id for r in results] == [0, 1, 2, 3, 4]
+        assert all(np.all(np.isfinite(r.weights)) for r in results)
+        assert results[0].latency == 1.0
+
+    def test_empty_cohort(self, tiny_bow_dataset):
+        ex = SerialExecutor(
+            _model(tiny_bow_dataset),
+            _clients(tiny_bow_dataset),
+            SoftmaxCrossEntropy(),
+            OptimizerSpec("sgd", 0.1),
+        )
+        assert ex.run_cohort(ex.model.get_flat_weights(), []) == []
+
+
+class TestParallelExecutor:
+    def test_bitwise_matches_serial(self, tiny_bow_dataset):
+        loss, spec = SoftmaxCrossEntropy(), OptimizerSpec("adam", 0.005)
+        model = _model(tiny_bow_dataset)
+        start = model.get_flat_weights()
+        tasks = _cohort(8, epochs=2, lam=0.4)
+        serial = SerialExecutor(
+            model, _clients(tiny_bow_dataset), loss, spec
+        ).run_cohort(start, tasks)
+        with ParallelExecutor(
+            _model(tiny_bow_dataset),
+            _clients(tiny_bow_dataset),
+            loss,
+            spec,
+            num_workers=3,
+        ) as par:
+            parallel = par.run_cohort(start, tasks)
+        assert len(serial) == len(parallel)
+        for s, p in zip(serial, parallel):
+            assert s.client_id == p.client_id
+            assert s.n_samples == p.n_samples
+            assert s.train_loss == p.train_loss  # bitwise, not approx
+            np.testing.assert_array_equal(s.weights, p.weights)
+
+    def test_singleton_cohort_runs_in_process_and_matches(self, tiny_bow_dataset):
+        """Cohorts below min_dispatch skip the pool but stay bit-identical."""
+        loss, spec = SoftmaxCrossEntropy(), OptimizerSpec("adam", 0.005)
+        model = _model(tiny_bow_dataset)
+        start = model.get_flat_weights()
+        task = _cohort(1, epochs=2, lam=0.4)
+        serial = SerialExecutor(
+            model, _clients(tiny_bow_dataset), loss, spec
+        ).run_cohort(start, task)
+        with ParallelExecutor(
+            _model(tiny_bow_dataset), _clients(tiny_bow_dataset), loss, spec,
+            num_workers=2,
+        ) as par:
+            local = par.run_cohort(start, task)
+            assert par._pool is None  # never dispatched to the pool
+        np.testing.assert_array_equal(serial[0].weights, local[0].weights)
+        assert serial[0].train_loss == local[0].train_loss
+
+    def test_chunking_preserves_order(self):
+        tasks = _cohort(7)
+        chunks = ParallelExecutor._chunk(tasks, 3)
+        assert [t.client_id for c in chunks for t in c] == list(range(7))
+        assert len(chunks) == 3
+        # More workers than tasks: no empty chunks.
+        assert all(ParallelExecutor._chunk(tasks[:2], 5))
+
+    def test_stateful_model_falls_back_to_serial(self, tiny_bow_dataset):
+        lstm = build_lstm_classifier(
+            20, 4, rng=np.random.default_rng(0), embed_dim=4, hidden_dim=4
+        )
+        assert not lstm.replica_safe
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            par = ParallelExecutor(
+                lstm,
+                _clients(tiny_bow_dataset),
+                SoftmaxCrossEntropy(),
+                OptimizerSpec("sgd", 0.1),
+                num_workers=2,
+            )
+        assert par.fallback_reason is not None
+        assert par.min_dispatch >= 1  # public attrs exist on fallback instances
+        par.close()
+
+    def test_close_idempotent(self, tiny_bow_dataset):
+        par = ParallelExecutor(
+            _model(tiny_bow_dataset),
+            _clients(tiny_bow_dataset),
+            SoftmaxCrossEntropy(),
+            OptimizerSpec("sgd", 0.1),
+            num_workers=2,
+        )
+        par.run_cohort(_model(tiny_bow_dataset).get_flat_weights(), _cohort(2))
+        par.close()
+        par.close()
+        # Pool is rebuilt lazily after close.
+        assert len(par.run_cohort(_model(tiny_bow_dataset).get_flat_weights(), _cohort(2))) == 2
+        par.close()
+
+
+class TestReplicas:
+    def test_client_replica_cannot_sample_latency(self, tiny_bow_dataset):
+        client = SimClient(tiny_bow_dataset.clients[0], None, batch_size=10, seed=0)
+        rep = client.replica()
+        assert rep.latency_model is None
+        with pytest.raises(RuntimeError, match="worker replica"):
+            rep.sample_latency(1, np.random.default_rng(0))
+
+    def test_model_clone_is_independent(self, tiny_bow_dataset):
+        model = _model(tiny_bow_dataset)
+        clone = model.clone()
+        clone.params[0].data += 1.0
+        assert not np.allclose(
+            model.get_flat_weights(), clone.get_flat_weights()
+        )
+
+    def test_model_clone_rebuilds_from_flat_vector(self, tiny_bow_dataset):
+        model = _model(tiny_bow_dataset)
+        target = model.get_flat_weights() * 2.0
+        clone = model.clone(target)
+        np.testing.assert_array_equal(clone.get_flat_weights(), target)
+        with pytest.raises(ValueError):
+            model.clone(np.zeros(3))
+
+    def test_replica_safety_flags(self, tiny_bow_dataset):
+        assert _model(tiny_bow_dataset).replica_safe
+        lstm = build_lstm_classifier(
+            20, 4, rng=np.random.default_rng(0), embed_dim=4, hidden_dim=4
+        )
+        assert not lstm.replica_safe
+        # Without dropout and batch-norm the recurrent stack is fine.
+        plain = build_lstm_classifier(
+            20, 4, rng=np.random.default_rng(0), embed_dim=4, hidden_dim=4,
+            dropout=0.0, batch_norm=False,
+        )
+        assert plain.replica_safe
+
+
+class TestPayloadBatching:
+    def test_roundtrip_batch_matches_singles(self, rng):
+        codec = PolylineCodec(4)
+        arrays = [rng.normal(0, 0.1, size=50) for _ in range(4)]
+        decoded, payloads = roundtrip_batch(codec, arrays)
+        assert len(decoded) == len(payloads) == 4
+        for arr, dec, pay in zip(arrays, decoded, payloads):
+            one = codec.encode(arr)
+            assert one.nbytes == pay.nbytes
+            np.testing.assert_array_equal(codec.decode(one), dec)
+
+    def test_encode_decode_batch_roundtrip(self, rng):
+        codec = PolylineCodec(4)
+        arrays = [rng.normal(size=10), rng.normal(size=20)]
+        payloads = encode_batch(codec, arrays)
+        decoded = decode_batch(codec, payloads)
+        assert [d.size for d in decoded] == [10, 20]
+
+    def test_empty_batch(self):
+        codec = PolylineCodec(4)
+        decoded, payloads = roundtrip_batch(codec, [])
+        assert decoded == [] and payloads == []

@@ -60,6 +60,24 @@ def test_compare_command(capsys):
     assert "t-to-target" in out
 
 
+def test_run_with_parallel_executor(capsys):
+    rc = main(
+        [
+            "run", "--method", "fedavg", "--dataset", "sentiment140",
+            "--scale", "tiny", "--rounds", "2", "--classes-per-client", "2",
+            "--executor", "parallel", "--num-workers", "2",
+        ]
+    )
+    assert rc == 0
+    assert "best accuracy" in capsys.readouterr().out
+
+
+def test_parser_rejects_unknown_executor():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["run", "--method", "fedat",
+                                   "--dataset", "cifar10", "--executor", "gpu"])
+
+
 def test_compare_rejects_unknown_method(capsys):
     rc = main(["compare", "--dataset", "sentiment140", "--methods", "sgdboost"])
     assert rc == 2

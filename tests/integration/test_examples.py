@@ -4,6 +4,7 @@ Only the fast examples run in the default suite; the longer ones are
 exercised by the benchmarks that cover the same code paths.
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -11,14 +12,22 @@ from pathlib import Path
 import pytest
 
 EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 def _run(script: str, timeout: int = 600) -> str:
+    # Examples must work from a bare checkout: pytest's `pythonpath` option
+    # covers only this process, so hand src/ down to the child explicitly.
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), env.get("PYTHONPATH")) if p
+    )
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / script)],
         capture_output=True,
         text=True,
         timeout=timeout,
+        env=env,
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
     return proc.stdout
