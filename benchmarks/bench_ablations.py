@@ -9,7 +9,6 @@
    vs poly/hinge (adaptive variants from the FedAsync paper).
 """
 
-import numpy as np
 from conftest import once
 
 from repro.experiments.runner import run_cached

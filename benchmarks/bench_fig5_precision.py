@@ -6,7 +6,6 @@ approaches no-compression accuracy while uploading far fewer bytes
 bytes per round increase monotonically with precision.
 """
 
-import numpy as np
 from conftest import once
 
 from repro.experiments.figures import fig5_precision_tradeoff

@@ -11,7 +11,7 @@ Paper claims reproduced here (shape, not absolute numbers):
 
 from conftest import once
 
-from repro.experiments.tables import TABLE1_SCENARIOS, format_table1, table1
+from repro.experiments.tables import format_table1, table1
 
 
 def test_table1(benchmark, scale, seed, artifact):

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.base import FLSystem
+from repro.core.base import FLSystem, RelaunchClient
 from repro.metrics.history import RunHistory
 from repro.sim.events import EventQueue
 
@@ -52,10 +52,11 @@ class ASOFed(FLSystem):
         """Start cycles for clients departing from the current global model
         (the initial mass launch; singletons at steady state). Unlike
         FedAsync, clients regularize toward the global model (local
-        constraint λ)."""
-        cohort = self.train_departing_cohort(
+        constraint λ). Churned clients are re-launched at their rejoin."""
+        cohort, deferred = self.train_departing_cohort(
             client_ids, queue.now, lam=self.config.lam
         )
+        self.schedule_relaunches(queue, deferred)
         nbytes = self.uplink_roundtrip([res for res, _ in cohort])
         for (res, finish), nb in zip(cohort, nbytes):
             queue.schedule_at(
@@ -70,6 +71,9 @@ class ASOFed(FLSystem):
         while not queue.empty and not self.budget_exhausted():
             ev = queue.pop()
             self.now = ev.time
+            if isinstance(ev.payload, RelaunchClient):
+                self._launch(ev.payload.client_id, queue)
+                continue
             done: _ClientDone = ev.payload
             self.meter.record_upload(done.uplink_bytes)
             self._install_copy(done.client_id, done.weights)

@@ -15,7 +15,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.core.base import FLSystem
+from repro.core.base import FLSystem, RelaunchClient
 from repro.metrics.history import RunHistory
 from repro.sim.events import EventQueue
 
@@ -68,9 +68,11 @@ class FedAsync(FLSystem):
         At steady state cohorts are singletons (each upload immediately
         relaunches that one client), but the initial mass launch trains the
         whole alive population from ``w0`` — a genuine cohort the executor
-        can fan out.
+        can fan out. Clients lost to a churn window are re-launched when
+        they rejoin (permanent dropouts stay gone).
         """
-        cohort = self.train_departing_cohort(client_ids, queue.now, lam=0.0)
+        cohort, deferred = self.train_departing_cohort(client_ids, queue.now, lam=0.0)
+        self.schedule_relaunches(queue, deferred)
         nbytes = self.uplink_roundtrip([res for res, _ in cohort])
         for (res, finish), nb in zip(cohort, nbytes):
             queue.schedule_at(
@@ -91,6 +93,9 @@ class FedAsync(FLSystem):
         while not queue.empty and not self.budget_exhausted():
             ev = queue.pop()
             self.now = ev.time
+            if isinstance(ev.payload, RelaunchClient):
+                self._launch(ev.payload.client_id, queue)
+                continue
             done: _ClientDone = ev.payload
             self.meter.record_upload(done.uplink_bytes)
             staleness = self.round - done.start_version

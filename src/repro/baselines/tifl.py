@@ -14,6 +14,12 @@ tier can be selected over the whole run, limiting bias toward any tier.
 The paper (§2.1) notes this refresh "requires collecting test accuracies
 of all clients", i.e. extra communication and a biased-training risk — the
 behaviour this implementation reproduces.
+
+TiFL also re-profiles and re-assigns tiers during training; with
+``retier_interval`` set, tier membership is periodically recomputed from
+EWMA'd observed response latencies (tier evaluators are rebuilt, credits
+stay attached to the tier *rank*). Tiers emptied by re-tiering get zero
+selection probability and are skipped safely.
 """
 
 from __future__ import annotations
@@ -47,20 +53,35 @@ class TiFL(SyncFLSystem):
         self.tier_probs = np.full(m, 1.0 / m)
         self._tier_rng = self.factory.rng("algo/tifl/tier")
         self._current_tier = 0
-        # Per-tier evaluators over each tier's client test shards.
-        self._tier_evaluators = [
-            Evaluator(
-                type(dataset)(
-                    name=dataset.name,
-                    clients=[dataset.clients[c] for c in self.tiering.clients_in(t)],
-                    num_classes=dataset.num_classes,
-                    input_shape=dataset.input_shape,
-                    task=dataset.task,
-                ),
-                self.worker,
+        self.retier_tracker = self.make_retier_tracker()
+        self._tier_evaluators = self._build_tier_evaluators()
+
+    def _build_tier_evaluators(self) -> list[Evaluator | None]:
+        """Per-tier evaluators over each tier's client test shards.
+
+        Rebuilt after every online re-tier; a tier emptied by re-tiering
+        has no shards to evaluate and gets ``None`` (zero selection weight).
+        """
+        dataset = self.dataset
+        evaluators: list[Evaluator | None] = []
+        for t in range(self.tiering.num_tiers):
+            ids = self.tiering.clients_in(t)
+            if ids.size == 0:
+                evaluators.append(None)
+                continue
+            evaluators.append(
+                Evaluator(
+                    type(dataset)(
+                        name=dataset.name,
+                        clients=[dataset.clients[c] for c in ids],
+                        num_classes=dataset.num_classes,
+                        input_shape=dataset.input_shape,
+                        task=dataset.task,
+                    ),
+                    self.worker,
+                )
             )
-            for t in range(m)
-        ]
+        return evaluators
 
     # ------------------------------------------------------------------ #
     def _refresh_probabilities(self) -> None:
@@ -83,12 +104,16 @@ class TiFL(SyncFLSystem):
             self.now += eval_delay
         acc = np.array(
             [
-                ev.evaluate_flat(self.global_weights)["accuracy"]
+                1.0
+                if ev is None
+                else ev.evaluate_flat(self.global_weights)["accuracy"]
                 for ev in self._tier_evaluators
             ]
         )
         raw = np.maximum(1.0 - acc, 0.01)
         raw[self.credits <= 0] = 0.0
+        # Empty tiers (possible after online re-tiering) are unselectable.
+        raw[[ev is None for ev in self._tier_evaluators]] = 0.0
         total = raw.sum()
         if total <= 0:  # all credits exhausted: fall back to uniform
             raw = np.ones(self.tiering.num_tiers)
@@ -120,3 +145,10 @@ class TiFL(SyncFLSystem):
     def on_round_end(self) -> None:
         trace = self.history.meta.setdefault("tier_selection_trace", [])
         trace.append(self._current_tier)
+        if self.retier_due():
+            self._retier()
+
+    def _retier(self) -> None:
+        """Re-split tiers on observed latencies and rebuild evaluators."""
+        self.apply_retier(self.now)
+        self._tier_evaluators = self._build_tier_evaluators()

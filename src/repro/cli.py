@@ -3,14 +3,19 @@
 ::
 
     python -m repro run --method fedat --dataset cifar10 --scale tiny
+    python -m repro run --method fedat --dataset cifar10 --scenario churn
     python -m repro compare --dataset sentiment140 --methods fedat,fedavg
+    python -m repro sweep --methods fedat,tifl --scenarios static,churn,drift \
+        --seeds 2 --smoke
     python -m repro codecs --size 20000
     python -m repro list
 
 ``run`` executes one experiment and prints the history summary (optionally
 saving the full series as JSON). ``compare`` runs several methods on the
-identical federation and prints a side-by-side table. ``codecs`` reports
-compression ratios on synthetic weights.
+identical federation and prints a side-by-side table. ``sweep`` executes a
+resumable (method × scenario × seed) grid with per-cell JSON checkpoints
+and prints an aggregate comparison table. ``codecs`` reports compression
+ratios on synthetic weights.
 """
 
 from __future__ import annotations
@@ -52,6 +57,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client-execution backend (default: serial)")
     run_p.add_argument("--num-workers", type=int, default=None,
                        help="parallel pool size (0 = CPU count)")
+    run_p.add_argument("--scenario", default=None,
+                       help='dynamic-world scenario, e.g. "static", "churn", '
+                       '"drift:0.5", "burst", "chaos"')
+    run_p.add_argument("--retier-interval", type=int, default=None,
+                       help="rounds between online re-tiers for fedat/tifl "
+                       "(0 = static tiers)")
     run_p.add_argument("--out", default=None, help="write history JSON here")
 
     cmp_p = sub.add_parser("compare", help="run several methods side by side")
@@ -68,6 +79,38 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client-execution backend (default: serial)")
     cmp_p.add_argument("--num-workers", type=int, default=None,
                        help="parallel pool size (0 = CPU count)")
+    cmp_p.add_argument("--scenario", default=None,
+                       help="dynamic-world scenario applied to every method")
+    cmp_p.add_argument("--retier-interval", type=int, default=None,
+                       help="rounds between online re-tiers for fedat/tifl")
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="resumable (method x scenario x seed) grid with checkpoints",
+    )
+    sweep_p.add_argument("--methods", default="fedat,tifl,fedavg",
+                         help="comma-separated method names")
+    sweep_p.add_argument("--scenarios", default="static,churn,drift",
+                         help="comma-separated scenario specs")
+    sweep_p.add_argument("--seeds", default="1",
+                         help='"N" for seeds 0..N-1, or an explicit list "0,3,7"')
+    sweep_p.add_argument("--dataset", default="sentiment140")
+    sweep_p.add_argument("--scale", default="bench", choices=["tiny", "bench", "paper"])
+    sweep_p.add_argument("--classes-per-client", type=int, default=None)
+    sweep_p.add_argument("--smoke", action="store_true",
+                         help="tiny scale + short budgets (CI-sized grid)")
+    sweep_p.add_argument("--out-dir", default=None,
+                         help="checkpoint directory (default: sweeps/<spec key>)")
+    sweep_p.add_argument("--retier-interval", type=int, default=None,
+                         help="online re-tier cadence for tiered methods under "
+                         "dynamic scenarios (default: auto — 20, or 3 with "
+                         "--smoke)")
+    sweep_p.add_argument("--executor", default="serial", choices=["serial", "parallel"],
+                         help="client-execution backend for every cell")
+    sweep_p.add_argument("--num-workers", type=int, default=0,
+                         help="parallel pool size (0 = CPU count)")
+    sweep_p.add_argument("--max-runs", type=int, default=None,
+                         help="stop after N new cells (sweep stays resumable)")
 
     codec_p = sub.add_parser("codecs", help="compression ratios on synthetic weights")
     codec_p.add_argument("--size", type=int, default=20_000)
@@ -96,7 +139,22 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         kwargs["executor"] = args.executor
     if getattr(args, "num_workers", None) is not None:
         kwargs["num_workers"] = args.num_workers
+    if getattr(args, "scenario", None) is not None:
+        kwargs["scenario"] = args.scenario
+    if getattr(args, "retier_interval", None) is not None:
+        kwargs["retier_interval"] = args.retier_interval
     return kwargs
+
+
+def _parse_seeds(text: str) -> tuple[int, ...]:
+    """``"3"`` -> (0, 1, 2); ``"0,4,9"`` -> (0, 4, 9)."""
+    text = text.strip()
+    if "," in text:
+        return tuple(int(s) for s in text.split(",") if s.strip())
+    count = int(text)
+    if count < 1:
+        raise ValueError("--seeds must name at least one seed")
+    return tuple(range(count))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -151,6 +209,41 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import SweepRunner, SweepSpec
+
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
+    try:
+        spec = SweepSpec(
+            methods=methods,
+            scenarios=scenarios,
+            seeds=_parse_seeds(args.seeds),
+            dataset=args.dataset,
+            scale=args.scale,
+            classes_per_client=(
+                "default" if args.classes_per_client is None else args.classes_per_client
+            ),
+            retier_interval=args.retier_interval,
+            executor=args.executor,
+            num_workers=args.num_workers,
+            smoke=args.smoke,
+        )
+    except ValueError as exc:
+        print(f"bad sweep spec: {exc}", file=sys.stderr)
+        return 2
+    out_dir = args.out_dir or f"sweeps/{spec.key()}"
+    runner = SweepRunner(spec, out_dir)
+    summary = runner.run(max_runs=args.max_runs, log=print)
+    print()
+    print(runner.format_summary(summary))
+    print(f"\ncheckpoints : {out_dir}")
+    if not summary["complete"]:
+        print("sweep interrupted — rerun the same command to resume")
+        return 3
+    return 0
+
+
 def _cmd_codecs(args: argparse.Namespace) -> int:
     from repro.compression.codec import (
         PolylineCodec,
@@ -186,10 +279,12 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
 
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.data.datasets import DATASETS
+    from repro.scenario import scenario_names
 
-    print("methods :", ", ".join(sorted(ALGORITHMS)))
-    print("datasets:", ", ".join(sorted(DATASETS)))
-    print("scales  : tiny, bench, paper (REPRO_SCALE also honoured by benches)")
+    print("methods  :", ", ".join(sorted(ALGORITHMS)))
+    print("datasets :", ", ".join(sorted(DATASETS)))
+    print("scenarios:", ", ".join(scenario_names()))
+    print("scales   : tiny, bench, paper (REPRO_SCALE also honoured by benches)")
     return 0
 
 
@@ -198,6 +293,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "run": _cmd_run,
         "compare": _cmd_compare,
+        "sweep": _cmd_sweep,
         "codecs": _cmd_codecs,
         "list": _cmd_list,
     }

@@ -12,6 +12,7 @@ algorithm, so every method compared under one seed faces the same cluster.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
@@ -24,15 +25,27 @@ from repro.metrics.evaluation import Evaluator
 from repro.metrics.history import EvalRecord, RunHistory
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import Sequential
+from repro.scenario import ScenarioEngine, parse_scenario
 from repro.sim.client import LocalTrainingResult, SimClient
 from repro.sim.failures import UnstableClientPolicy
 from repro.sim.latency import ComputeModel, ResponseLatencyModel, TierDelayModel
 from repro.sim.network import NetworkMeter
 from repro.utils.rng import SeedSequenceFactory
 
-__all__ = ["FLSystem", "SyncFLSystem"]
+__all__ = ["FLSystem", "SyncFLSystem", "RelaunchClient"]
 
 ModelBuilder = Callable[[np.random.Generator], Sequential]
+
+
+@dataclass
+class RelaunchClient:
+    """Event payload: retry launching a client that churned away.
+
+    Shared by the async methods (FedAsync, ASO-Fed): a client lost to a
+    churn window is re-launched when its availability window reopens.
+    """
+
+    client_id: int
 
 
 class FLSystem:
@@ -89,6 +102,22 @@ class FLSystem:
             horizon=config.dropout_horizon,
         )
         self.meter = NetworkMeter()
+
+        # Dynamic-world scenario: churn windows, speed drift, and burst
+        # stragglers compiled once from an env-named RNG stream (identical
+        # across methods for a given seed). A static scenario has no events
+        # and every hook below short-circuits, keeping histories
+        # bit-identical to the scenario-free simulator.
+        horizon = config.max_time if config.max_time is not None else config.dropout_horizon
+        self.scenario = ScenarioEngine.compile(
+            parse_scenario(config.scenario),
+            dataset.num_clients,
+            horizon,
+            self.factory.rng("env/scenario"),
+        )
+        #: Set by tiered methods when online re-tiering is enabled.
+        self.retier_tracker = None
+
         codec = make_codec(config.compression) if self.uses_compression else NullCodec()
         self.codec: Codec = codec
 
@@ -169,9 +198,21 @@ class FLSystem:
         return [p.nbytes for p in payloads]
 
     def alive(self, client_ids, at_time: float | None = None) -> list[int]:
-        """Clients still participating at a given virtual time."""
+        """Clients participating (not dropped, not churned away) at a time."""
         t = self.now if at_time is None else at_time
-        return self.failures.alive_clients(client_ids, t)
+        out = self.failures.alive_clients(client_ids, t)
+        if not self.scenario.is_static:
+            out = [c for c in out if self.scenario.is_available(c, t)]
+        return out
+
+    def completes(self, client_id: int, start: float, end: float) -> bool:
+        """Whether a round spanning [start, end] reaches the server: the
+        client neither drops out permanently nor churns offline mid-round."""
+        if not self.failures.will_complete(client_id, start, end):
+            return False
+        return self.scenario.is_static or self.scenario.available_throughout(
+            client_id, start, end
+        )
 
     def select_clients(self, pool: list[int], k: int) -> list[int]:
         """Random sample of ``min(k, |pool|)`` clients without replacement."""
@@ -187,9 +228,24 @@ class FLSystem:
         # Round trip moves the model down and back up; both transfers count
         # against a finite-bandwidth link (no-op when bandwidth is None).
         payload = 2 * getattr(self, "_last_payload_nbytes", 0)
-        return self.clients[client_id].sample_latency(
+        latency = self.clients[client_id].sample_latency(
             epochs, self._latency_rng, payload_bytes=payload
         )
+        if not self.scenario.is_static:
+            latency *= self.scenario.latency_multiplier(client_id, self.now)
+        return latency
+
+    def observe_latency(self, client_id: int, latency: float) -> None:
+        """Feed one *server-observable* response latency to the re-tier
+        tracker.
+
+        Call sites invoke this only for clients whose round actually
+        reports back — a client that drops or churns away mid-round is
+        never observed, so online re-tiering works from exactly the
+        information a real server would have.
+        """
+        if self.retier_tracker is not None:
+            self.retier_tracker.observe(client_id, latency)
 
     def make_task(
         self,
@@ -245,26 +301,44 @@ class FLSystem:
 
     def train_departing_cohort(
         self, client_ids: list[int], now: float, *, lam: float | None = None
-    ) -> list[tuple[LocalTrainingResult, float]]:
+    ) -> tuple[list[tuple[LocalTrainingResult, float]], list[int]]:
         """Download + train clients that all depart from the current global
         model at virtual time ``now`` (the async-method launch pattern).
 
         Charges one downlink per client, samples latencies in launch order,
-        silently drops clients that die mid-round, and returns
-        ``(result, virtual finish time)`` pairs for the survivors.
+        drops clients that die mid-round, and returns ``(result, virtual
+        finish time)`` pairs for the survivors plus the ids of clients lost
+        to *churn* (offline now, or leaving mid-round). Churned clients are
+        recoverable — callers should schedule a relaunch at their next
+        rejoin — whereas permanently dropped clients are silently gone,
+        exactly as before scenarios existed.
         """
         if not client_ids:
-            return []
+            return [], []
         received = self.send_down(self.global_weights, n_receivers=len(client_ids))
         tasks, finishes = [], []
+        deferred: list[int] = []
         for cid in client_ids:
             latency = self.sample_latency(cid)
             finish = now + latency
-            if not self.failures.will_complete(cid, now, finish):
-                continue  # dies mid-round and never comes back
+            if not self.completes(cid, now, finish):
+                if self.failures.will_complete(cid, now, finish):
+                    deferred.append(cid)  # churned away, will rejoin
+                continue  # permanent dropout; never comes back
+            self.observe_latency(cid, latency)
             tasks.append(self.make_task(cid, latency, lam=lam))
             finishes.append(finish)
-        return list(zip(self.train_cohort(tasks, received), finishes))
+        return list(zip(self.train_cohort(tasks, received), finishes)), deferred
+
+    def schedule_relaunches(self, queue, deferred: list[int]) -> None:
+        """Schedule :class:`RelaunchClient` events at each churned client's
+        next rejoin, so async methods pick lost clients back up."""
+        for cid in deferred:
+            wake = self.scenario.next_join_after([cid], queue.now)
+            if wake is not None and (
+                self.config.max_time is None or wake < self.config.max_time
+            ):
+                queue.schedule_at(wake, RelaunchClient(cid))
 
     def build_tiering(self):
         """Profile clients and split them into ``num_tiers`` latency tiers.
@@ -282,7 +356,62 @@ class FLSystem:
             misprofile_fraction=self.config.misprofile_fraction,
         )
         latencies = profiler.profile(self.clients, self.factory.rng("env/profile"))
+        #: Kept as the prior for online re-tiering (see make_retier_tracker).
+        self.profiled_latencies = latencies
         return Tiering.from_latencies(latencies, self.config.num_tiers)
+
+    def make_retier_tracker(self):
+        """Latency tracker for online re-tiering, or None when disabled.
+
+        Seeded from profiled latencies when the system profiled (the usual
+        path), else from expected latencies — either way a deterministic
+        prior the EWMA refines from real observations.
+        """
+        if self.config.retier_interval <= 0:
+            return None
+        from repro.tiering.online import LatencyTracker
+
+        prior = getattr(self, "profiled_latencies", None)
+        if prior is None:
+            prior = np.array(
+                [c.expected_latency(self.config.local_epochs) for c in self.clients]
+            )
+        return LatencyTracker(prior, alpha=self.config.retier_ewma)
+
+    def retier_due(self) -> bool:
+        """Whether a periodic online re-tier should fire at this round."""
+        return (
+            self.retier_tracker is not None
+            and self.round > 0
+            and self.round % self.config.retier_interval == 0
+        )
+
+    def apply_retier(self, at_time: float):
+        """Swap in a tiering recomputed from observed latencies.
+
+        Shared bookkeeping for FedAT and TiFL: computes the new split from
+        the tracker, counts moved clients, and appends a ``retier_trace``
+        record to the history meta. Returns the new tiering (also installed
+        as ``self.tiering``); method-specific refresh (server masks, tier
+        evaluators, round restarts) stays with the caller.
+        """
+        old = self.tiering
+        new = self.retier_tracker.retier(old.num_tiers)
+        moved = sum(
+            1
+            for c in range(self.dataset.num_clients)
+            if old.tier_of(c) != new.tier_of(c)
+        )
+        self.tiering = new
+        self.history.meta.setdefault("retier_trace", []).append(
+            {
+                "round": self.round,
+                "time": float(at_time),
+                "moved": moved,
+                "sizes": new.sizes(),
+            }
+        )
+        return new
 
     # ------------------------------------------------------------------ #
     # Evaluation / bookkeeping
@@ -356,12 +485,33 @@ class SyncFLSystem(FLSystem):
     def on_round_end(self) -> None:
         """Hook for subclasses (e.g. TiFL credit/probability refresh)."""
 
+    def _wait_for_rejoin(self) -> bool:
+        """No selectable client right now: idle until the next churn rejoin.
+
+        Returns True (and advances the clock) when some client comes back
+        inside the time budget; False means the pool is permanently empty
+        and the run should end — the only possibility in a static world.
+        """
+        if self.scenario.is_static:
+            return False
+        wake = self.scenario.next_join_after(
+            range(self.dataset.num_clients), self.now
+        )
+        if wake is None:
+            return False
+        if self.config.max_time is not None and wake >= self.config.max_time:
+            return False
+        self.now = wake
+        return True
+
     def _run(self) -> RunHistory:
         self.record_eval()  # round-0 baseline point
         while not self.budget_exhausted():
             cohort = self.choose_cohort()
             if not cohort:
-                break  # every client dropped out
+                if self._wait_for_rejoin():
+                    continue  # a churn window reopened: try selecting again
+                break  # every client dropped out for good
             start = self.now
             received = self.send_down(self.global_weights, n_receivers=len(cohort))
             tasks: list[CohortTask] = []
@@ -370,8 +520,9 @@ class SyncFLSystem(FLSystem):
                 latency = self.sample_latency(cid, self.client_epochs(cid))
                 finish = start + latency
                 round_end = max(round_end, finish)
-                if not self.failures.will_complete(cid, start, finish):
+                if not self.completes(cid, start, finish):
                     continue  # client dropped mid-round; server hears nothing
+                self.observe_latency(cid, latency)
                 tasks.append(
                     self.make_task(
                         cid,

@@ -31,6 +31,11 @@ class FLConfig:
     num_tiers: int = 5
     profiler_probe_rounds: int = 1
     misprofile_fraction: float = 0.0
+    # Online re-tiering: every `retier_interval` global updates, FedAT/TiFL
+    # re-split tiers on EWMA'd observed response latencies (0 = off, the
+    # paper's static-profile behavior). `retier_ewma` is the blend weight.
+    retier_interval: int = 0
+    retier_ewma: float = 0.3
 
     # --- run budget -------------------------------------------------------#
     max_rounds: int = 200
@@ -38,6 +43,10 @@ class FLConfig:
     eval_every: int = 5
 
     # --- environment ------------------------------------------------------#
+    # Dynamic-world scenario: a preset name with optional argument, e.g.
+    # "churn", "drift:0.5", "burst:3", "chaos" (see repro.scenario). None or
+    # "static" leaves runs bit-identical to the scenario-free simulator.
+    scenario: str | None = None
     seed: int = 0
     num_unstable: int = 10
     dropout_horizon: float = 2000.0
@@ -87,6 +96,14 @@ class FLConfig:
             raise ValueError("lam must be non-negative")
         if self.num_tiers < 1:
             raise ValueError("num_tiers must be >= 1")
+        if self.retier_interval < 0:
+            raise ValueError("retier_interval must be >= 0 (0 disables)")
+        if not 0.0 < self.retier_ewma <= 1.0:
+            raise ValueError("retier_ewma must be in (0, 1]")
+        if self.scenario is not None:
+            from repro.scenario.spec import parse_scenario
+
+            parse_scenario(self.scenario)  # raises ValueError on bad specs
         if self.max_rounds < 1:
             raise ValueError("max_rounds must be >= 1")
         if self.eval_every < 1:

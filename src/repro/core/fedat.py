@@ -5,13 +5,19 @@ concurrently in virtual time and contribute to the global model
 asynchronously through :class:`repro.core.server.TieredServer`. Both link
 directions go through the configured codec (polyline precision 4 by
 default), so compression loss genuinely flows through training.
+
+Under a dynamic scenario (churn / drift / bursts) two extra mechanisms
+engage: a tier whose whole pool is churned offline schedules a *wake*
+event at the next rejoin instead of retiring forever, and — when
+``retier_interval`` is set — the server periodically re-splits tiers on
+EWMA'd observed response latencies (online re-tiering, as TiFL does),
+reviving tiers that gained clients. With a static scenario and re-tiering
+off, the loop is event-for-event identical to the original simulator.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-
-import numpy as np
 
 from repro.core.aggregation import sample_weighted_average
 from repro.core.base import FLSystem
@@ -33,6 +39,13 @@ class _TierRoundDone:
     results: list = field(default_factory=list)
 
 
+@dataclass
+class _TierWake:
+    """Event payload: retry starting a round for a currently-idle tier."""
+
+    tier: int
+
+
 class FedAT(FLSystem):
     """The paper's system: synchronous intra-tier, asynchronous cross-tier."""
 
@@ -52,6 +65,8 @@ class FedAT(FLSystem):
             weighting=config.server_weighting,
         )
         self.global_weights = self.server.global_weights
+        self.retier_tracker = self.make_retier_tracker()
+        self._active: set[int] = set()
 
     # ------------------------------------------------------------------ #
     def _start_tier_round(self, tier: int, queue: EventQueue) -> bool:
@@ -60,7 +75,7 @@ class FedAT(FLSystem):
         Local training is computed eagerly from the current global snapshot
         (the weights clients would receive *now*); the completion event
         carries the results to their virtual finish time. Returns False if
-        the tier has no alive clients left (the tier retires).
+        the tier has no alive clients right now (the tier idles).
         """
         pool = self.alive(self.tiering.clients_in(tier).tolist(), queue.now)
         cohort = self.select_clients(pool, self.config.clients_per_round)
@@ -74,23 +89,53 @@ class FedAT(FLSystem):
             latency = self.sample_latency(cid)
             finish = start + latency
             round_end = max(round_end, finish)
-            if not self.failures.will_complete(cid, start, finish):
-                continue  # drops out mid-round; server never hears back
+            if not self.completes(cid, start, finish):
+                continue  # drops out or churns away mid-round; never reports
+            self.observe_latency(cid, latency)
             tasks.append(self.make_task(cid, latency))
         trained = self.train_cohort(tasks, received)
         results = list(zip(trained, self.uplink_roundtrip(trained)))
         queue.schedule_at(round_end, _TierRoundDone(tier, results))
         return True
 
+    def _launch_or_wake(self, tier: int, queue: EventQueue) -> None:
+        """Start the tier's next round, or schedule a churn-rejoin retry."""
+        if self._start_tier_round(tier, queue):
+            self._active.add(tier)
+            return
+        self._active.discard(tier)
+        if self.scenario.is_static:
+            return  # nobody ever comes back: the tier retires for good
+        wake = self.scenario.next_join_after(
+            self.tiering.clients_in(tier).tolist(), queue.now
+        )
+        if wake is not None and (
+            self.config.max_time is None or wake < self.config.max_time
+        ):
+            queue.schedule_at(wake, _TierWake(tier))
+
+    def _retier(self, queue: EventQueue) -> None:
+        """Re-split tiers on observed latencies; revive idle tiers."""
+        new = self.apply_retier(queue.now)
+        self.server.set_active_tiers([size > 0 for size in new.sizes()])
+        # Membership changed under the running tiers: any tier without an
+        # outstanding round may now have clients — try to start it.
+        for m in range(new.num_tiers):
+            if m not in self._active:
+                self._launch_or_wake(m, queue)
+
     def _run(self) -> RunHistory:
         queue = EventQueue()
         self.record_eval()
-        active_tiers = 0
         for m in range(self.tiering.num_tiers):
-            active_tiers += int(self._start_tier_round(m, queue))
+            self._launch_or_wake(m, queue)
         while not queue.empty and not self.budget_exhausted():
             ev = queue.pop()
             self.now = ev.time
+            if isinstance(ev.payload, _TierWake):
+                if ev.payload.tier not in self._active:
+                    self._launch_or_wake(ev.payload.tier, queue)
+                continue
             done: _TierRoundDone = ev.payload
             if done.results:
                 for res, nbytes in done.results:
@@ -103,15 +148,14 @@ class FedAT(FLSystem):
                     done.tier, tier_model
                 )
                 self.round += 1
+                if self.retier_due():
+                    self._retier(queue)
                 if self._eval_due():
                     self.record_eval()
             # The tier immediately begins its next round from the latest
             # global model ("the server sends the latest global model to the
             # next ready tier and starts the next round").
-            if not self._start_tier_round(done.tier, queue):
-                active_tiers -= 1
-                if active_tiers == 0:
-                    break
+            self._launch_or_wake(done.tier, queue)
         if not self.history.records or self.history.records[-1].round != self.round:
             self.record_eval()
         self.history.meta["tier_update_counts"] = self.server.update_counts.tolist()

@@ -42,6 +42,22 @@ class TieredServer:
         ]
         self.update_counts = np.zeros(num_tiers, dtype=np.int64)
         self.global_weights = self._initial.copy()
+        #: Tiers currently holding clients. Online re-tiering may empty a
+        #: tier; its stale model is then masked out of the global average.
+        self.active = np.ones(num_tiers, dtype=bool)
+
+    def set_active_tiers(self, active) -> None:
+        """Mark which tiers are non-empty after a re-tier.
+
+        Inactive tiers keep their model and update count (they may refill
+        later) but contribute zero weight to the global average.
+        """
+        active = np.asarray(active, dtype=bool)
+        if active.shape != (self.num_tiers,):
+            raise ValueError(
+                f"need {self.num_tiers} active flags, got shape {active.shape}"
+            )
+        self.active = active.copy()
 
     @property
     def total_updates(self) -> int:
@@ -49,10 +65,30 @@ class TieredServer:
         return int(self.update_counts.sum())
 
     def tier_weight_vector(self) -> np.ndarray | None:
-        """Current aggregation weights per tier (None before any update)."""
+        """Current aggregation weights per tier (None before any update).
+
+        Weights of inactive (emptied) tiers are zeroed and the rest
+        renormalized; when every positive-weight tier is inactive the
+        division-by-zero is guarded by falling back to uniform weights over
+        the active tiers, and with no active tiers at all the vector is
+        None (the global model is left untouched).
+        """
         if self.weighting == "uniform":
-            return uniform_tier_weights(self.num_tiers)
-        return cross_tier_weights(self.update_counts)
+            weights = uniform_tier_weights(self.num_tiers)
+        else:
+            weights = cross_tier_weights(self.update_counts)
+            if weights is None:
+                return None
+        if self.active.all():
+            return weights
+        weights = np.where(self.active, weights, 0.0)
+        total = float(weights.sum())
+        if total > 0.0:
+            return weights / total
+        n_active = int(self.active.sum())
+        if n_active == 0:
+            return None
+        return self.active.astype(np.float64) / n_active
 
     def submit_tier_update(self, tier: int, tier_model: np.ndarray) -> np.ndarray:
         """Install tier ``tier``'s new synchronous aggregate; return the new
@@ -65,8 +101,10 @@ class TieredServer:
         self.tier_models[tier] = tier_model.copy()
         self.update_counts[tier] += 1
         weights = self.tier_weight_vector()
-        if weights is None:  # unreachable after the first submit; kept for safety
-            self.global_weights = self._initial.copy()
-        else:
-            self.global_weights = weighted_average(self.tier_models, weights)
+        if weights is None:
+            # No weightable tier (pre-first-update, or every tier masked
+            # out): keep the current global model rather than dividing by a
+            # zero total weight.
+            return self.global_weights
+        self.global_weights = weighted_average(self.tier_models, weights)
         return self.global_weights

@@ -18,6 +18,7 @@ from repro.experiments.runner import (
     run_cached,
     run_experiment,
 )
+from repro.experiments.sweep import SweepCell, SweepRunner, SweepSpec
 
 __all__ = [
     "ScalePreset",
@@ -29,4 +30,7 @@ __all__ = [
     "run_experiment",
     "run_cached",
     "clear_cache",
+    "SweepCell",
+    "SweepRunner",
+    "SweepSpec",
 ]

@@ -7,7 +7,6 @@ EXPERIMENTS.md can record paper-vs-measured values without matplotlib.
 
 from __future__ import annotations
 
-import numpy as np
 
 from repro.experiments.runner import run_cached
 from repro.metrics.history import RunHistory

@@ -12,7 +12,6 @@ import hashlib
 import json
 from pathlib import Path
 
-import numpy as np
 
 from repro.baselines import ASOFed, FedAsync, FedAvg, FedProx, TiFL
 from repro.core.fedat import FedAT

@@ -1,0 +1,326 @@
+"""Resumable (method × scenario × seed) sweep runner.
+
+A sweep executes the full grid of methods under every scenario and seed,
+reproducing the paper's accuracy/communication comparisons *per dynamic
+world* (static, churn, drift, …). Each finished cell is checkpointed as
+one JSON file — written atomically (temp file + rename) so a crash can
+never leave a half-written checkpoint — and a re-run of the same spec in
+the same directory skips completed cells, making a killed sweep resumable
+with bit-identical merged results (every cell is a deterministic function
+of its spec).
+
+Cells run through the configured client-execution backend, so a sweep can
+fan client training out to the PR-1 process pool (``executor="parallel"``)
+without changing any result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from itertools import product
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.experiments.runner import ALGORITHMS, run_experiment
+from repro.metrics.history import RunHistory
+from repro.metrics.report import format_table
+from repro.scenario.spec import parse_scenario
+from repro.utils.serialization import to_jsonable
+
+__all__ = ["SweepCell", "SweepSpec", "SweepRunner"]
+
+#: Methods that maintain a tiering and support online re-tiering.
+TIERED_METHODS = ("fedat", "tifl")
+
+#: Budget overrides applied to every cell when ``smoke`` is on: the whole
+#: acceptance grid (2 methods × 3 scenarios × 2 seeds) finishes in seconds.
+#: The time budget doubles as the scenario horizon, so churn/drift events
+#: (scheduled as fractions of the horizon) genuinely overlap the run.
+SMOKE_OVERRIDES: dict[str, Any] = {"max_rounds": 30, "max_time": 45.0}
+
+#: Online re-tier cadence when the spec leaves it on auto: every 20 global
+#: updates normally, every 3 under smoke budgets (a 20-round cadence would
+#: never fire inside a 30-update smoke run).
+DEFAULT_RETIER_INTERVAL = 20
+SMOKE_RETIER_INTERVAL = 3
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One grid point: a (method, scenario, seed) triple."""
+
+    method: str
+    scenario: str
+    seed: int
+
+    @property
+    def cell_id(self) -> str:
+        scenario = self.scenario.replace(":", "-").replace("/", "-")
+        return f"{self.method}__{scenario}__s{self.seed}"
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Full description of a sweep grid; hashable for resume safety."""
+
+    methods: tuple[str, ...]
+    scenarios: tuple[str, ...] = ("static",)
+    seeds: tuple[int, ...] = (0,)
+    dataset: str = "sentiment140"
+    scale: str = "bench"
+    classes_per_client: int | None | str = "default"
+    #: None = auto (DEFAULT_RETIER_INTERVAL, or SMOKE_RETIER_INTERVAL under
+    #: smoke); an explicit value always wins, smoke or not.
+    retier_interval: int | None = None
+    executor: str = "serial"
+    num_workers: int = 0
+    smoke: bool = False
+    #: Extra FLConfig overrides applied to every cell, as sorted (k, v).
+    fl_overrides: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        if not self.methods:
+            raise ValueError("need at least one method")
+        unknown = [m for m in self.methods if m not in ALGORITHMS]
+        if unknown:
+            raise ValueError(f"unknown methods {unknown}; options: {sorted(ALGORITHMS)}")
+        if not self.scenarios:
+            raise ValueError("need at least one scenario")
+        for s in self.scenarios:
+            parse_scenario(s)  # raises ValueError on bad scenario strings
+        if not self.seeds:
+            raise ValueError("need at least one seed")
+
+    def cells(self) -> list[SweepCell]:
+        """The grid in deterministic execution order."""
+        return [
+            SweepCell(method=m, scenario=s, seed=seed)
+            for m, s, seed in product(self.methods, self.scenarios, self.seeds)
+        ]
+
+    def key(self) -> str:
+        """Stable digest of everything that affects cell results."""
+        payload = to_jsonable(asdict(self))
+        if self.smoke:
+            # The smoke budget lives in module constants; bake it into the
+            # key so retuning it invalidates old smoke checkpoints.
+            payload["smoke_overrides"] = to_jsonable(SMOKE_OVERRIDES)
+            payload["smoke_retier_interval"] = SMOKE_RETIER_INTERVAL
+        blob = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(blob.encode()).hexdigest()[:16]
+
+
+class SweepRunner:
+    """Executes a :class:`SweepSpec` with per-cell crash-safe checkpoints."""
+
+    def __init__(self, spec: SweepSpec, out_dir: str | Path):
+        self.spec = spec
+        self.out_dir = Path(out_dir)
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        self._spec_key = spec.key()
+        spec_path = self.out_dir / "spec.json"
+        if not spec_path.exists():
+            self._atomic_write(
+                spec_path, {"spec": to_jsonable(asdict(spec)), "key": self._spec_key}
+            )
+
+    # ------------------------------------------------------------------ #
+    # Checkpoints
+    # ------------------------------------------------------------------ #
+    def _cell_path(self, cell: SweepCell) -> Path:
+        return self.out_dir / f"{cell.cell_id}.json"
+
+    @staticmethod
+    def _atomic_write(path: Path, payload: dict) -> None:
+        """Write JSON via temp file + rename: readers never see a torn file."""
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(json.dumps(to_jsonable(payload), indent=2, sort_keys=True))
+        os.replace(tmp, path)
+
+    def load_cell(self, cell: SweepCell) -> RunHistory | None:
+        """A completed cell's history, or None (missing/corrupt/stale spec)."""
+        path = self._cell_path(cell)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text())
+            if not payload.get("completed") or payload.get("spec_key") != self._spec_key:
+                return None
+            return RunHistory.from_dict(payload["history"])
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+            return None  # torn or stale checkpoint: the cell re-runs
+
+    def completed_cells(self) -> list[SweepCell]:
+        return [c for c in self.spec.cells() if self.load_cell(c) is not None]
+
+    def pending_cells(self) -> list[SweepCell]:
+        return [c for c in self.spec.cells() if self.load_cell(c) is None]
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def _cell_fl_overrides(self, cell: SweepCell) -> dict[str, Any]:
+        fl: dict[str, Any] = dict(self.spec.fl_overrides)
+        if self.spec.smoke:
+            for k, v in SMOKE_OVERRIDES.items():
+                fl.setdefault(k, v)
+        fl["scenario"] = cell.scenario
+        if cell.method in TIERED_METHODS and not parse_scenario(cell.scenario).is_static:
+            # Online re-tiering engages only in dynamic worlds; static cells
+            # stay bit-identical to the scenario-free simulator.
+            interval = self.spec.retier_interval
+            if interval is None:
+                interval = SMOKE_RETIER_INTERVAL if self.spec.smoke else DEFAULT_RETIER_INTERVAL
+            fl.setdefault("retier_interval", interval)
+        fl["executor"] = self.spec.executor
+        fl["num_workers"] = self.spec.num_workers
+        return fl
+
+    def run_cell(self, cell: SweepCell) -> RunHistory:
+        """Run one grid point and checkpoint it."""
+        scale = "tiny" if self.spec.smoke else self.spec.scale
+        history = run_experiment(
+            cell.method,
+            self.spec.dataset,
+            scale=scale,
+            seed=cell.seed,
+            classes_per_client=self.spec.classes_per_client,
+            **self._cell_fl_overrides(cell),
+        )
+        history.meta["scenario"] = cell.scenario
+        self._atomic_write(
+            self._cell_path(cell),
+            {
+                "spec_key": self._spec_key,
+                "cell": asdict(cell),
+                "completed": True,
+                "history": history.to_dict(),
+            },
+        )
+        return history
+
+    def run(
+        self,
+        *,
+        max_runs: int | None = None,
+        log: Callable[[str], None] | None = None,
+    ) -> dict:
+        """Execute pending cells (resuming from checkpoints), then aggregate.
+
+        ``max_runs`` bounds how many *new* cells this invocation executes —
+        the hook crash-resume tests (and cautious operators) use to stop a
+        sweep mid-grid. Returns the aggregate summary; ``complete`` is False
+        when cells remain.
+        """
+        say = log or (lambda _msg: None)
+        cells = self.spec.cells()
+        ran = 0
+        for i, cell in enumerate(cells):
+            if self.load_cell(cell) is not None:
+                say(f"[{i + 1}/{len(cells)}] {cell.cell_id}: cached")
+                continue
+            if max_runs is not None and ran >= max_runs:
+                say(f"stopping after {ran} new runs (max-runs reached)")
+                break
+            history = self.run_cell(cell)
+            ran += 1
+            say(
+                f"[{i + 1}/{len(cells)}] {cell.cell_id}: "
+                f"best_acc={history.best_accuracy():.4f} "
+                f"updates={int(history.rounds()[-1])} "
+                f"MB={history.total_bytes()[-1] / 1e6:.2f}"
+            )
+        summary = self.summarize()
+        if summary["complete"]:
+            self._atomic_write(self.out_dir / "summary.json", summary)
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Aggregation
+    # ------------------------------------------------------------------ #
+    def summarize(self) -> dict:
+        """Aggregate completed cells into per-(method, scenario) means."""
+        groups: dict = {}
+        missing = 0
+        for cell in self.spec.cells():
+            history = self.load_cell(cell)
+            if history is None:
+                missing += 1
+                continue
+            entry = groups.setdefault(
+                (cell.method, cell.scenario),
+                {
+                    "best_accuracy": [],
+                    "final_accuracy": [],
+                    "accuracy_variance": [],
+                    "megabytes": [],
+                    "updates": [],
+                    "seeds": [],
+                },
+            )
+            entry["best_accuracy"].append(history.best_accuracy())
+            entry["final_accuracy"].append(history.final_accuracy())
+            entry["accuracy_variance"].append(history.mean_accuracy_variance())
+            entry["megabytes"].append(float(history.total_bytes()[-1]) / 1e6)
+            entry["updates"].append(int(history.rounds()[-1]))
+            entry["seeds"].append(cell.seed)
+        rows = {
+            f"{method}@{scenario}": {
+                k: (v if k == "seeds" else float(np.mean(v)))
+                for k, v in entry.items()
+            }
+            for (method, scenario), entry in groups.items()
+        }
+        return {
+            "spec_key": self._spec_key,
+            "dataset": self.spec.dataset,
+            "scale": "tiny" if self.spec.smoke else self.spec.scale,
+            "smoke": self.spec.smoke,
+            "cells_total": len(self.spec.cells()),
+            "cells_done": len(self.spec.cells()) - missing,
+            "complete": missing == 0,
+            "rows": rows,
+        }
+
+    def format_summary(self, summary: dict | None = None) -> str:
+        """Aggregate comparison table, one row per (method, scenario)."""
+        summary = summary or self.summarize()
+        headers = [
+            "method",
+            "scenario",
+            "seeds",
+            "best acc",
+            "final acc",
+            "acc var",
+            "MB",
+            "updates",
+        ]
+        rows = []
+        for key in sorted(summary["rows"]):
+            method, _, scenario = key.partition("@")
+            r = summary["rows"][key]
+            rows.append(
+                [
+                    method,
+                    scenario,
+                    len(r["seeds"]),
+                    f"{r['best_accuracy']:.4f}",
+                    f"{r['final_accuracy']:.4f}",
+                    f"{r['accuracy_variance']:.5f}",
+                    f"{r['megabytes']:.2f}",
+                    f"{r['updates']:.0f}",
+                ]
+            )
+        status = "complete" if summary["complete"] else (
+            f"PARTIAL ({summary['cells_done']}/{summary['cells_total']} cells)"
+        )
+        return (
+            f"sweep {summary['spec_key']} — dataset={summary['dataset']} "
+            f"scale={summary['scale']} [{status}]\n\n"
+            + format_table(headers, rows)
+        )

@@ -29,6 +29,11 @@ class Evaluator:
         max_test_per_client: int | None = None,
     ):
         self._model = model
+        if not dataset.clients:
+            raise ValueError(
+                "cannot evaluate an empty federation (zero clients); "
+                "callers should skip evaluation of empty tiers"
+            )
         xs, ys, bounds = [], [], [0]
         for c in dataset.clients:
             x, y = c.x_test, c.y_test

@@ -1,0 +1,25 @@
+"""Dynamic-scenario subsystem: churn, speed drift, burst stragglers.
+
+Specs (:mod:`repro.scenario.spec`) declare *how much* dynamism a run sees;
+the engine (:mod:`repro.scenario.engine`) compiles a spec into per-client
+timelines every :class:`~repro.core.base.FLSystem` consults as virtual time
+advances. A static scenario compiles to zero events and leaves histories
+bit-identical to runs without any scenario attached.
+"""
+
+from repro.scenario.engine import ScenarioEngine, ScenarioEvent
+from repro.scenario.spec import (
+    SCENARIO_PRESETS,
+    ScenarioSpec,
+    parse_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "ScenarioEngine",
+    "ScenarioEvent",
+    "ScenarioSpec",
+    "SCENARIO_PRESETS",
+    "parse_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,243 @@
+"""Scenario engine: compiled, queryable time-varying client behavior.
+
+A :class:`ScenarioEngine` turns a :class:`~repro.scenario.spec.ScenarioSpec`
+(or an explicit event list) into per-client timelines that any
+:class:`~repro.core.base.FLSystem` can query as its virtual clock advances:
+
+- ``is_available(cid, t)`` — churn: is the client online at ``t``?
+- ``available_throughout(cid, start, end)`` — does it stay online for a
+  whole local round?
+- ``latency_multiplier(cid, t)`` — speed drift × burst stragglers.
+
+Compilation pushes every raw event through the simulator's
+:class:`~repro.sim.events.EventQueue`, so simultaneous events resolve in
+deterministic insertion order (the same tie-break every system run uses),
+and the resulting timelines are pure functions of time — queries never
+mutate state, so out-of-order lookups are safe.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scenario.spec import ScenarioSpec
+from repro.sim.events import EventQueue
+
+__all__ = ["ScenarioEvent", "ScenarioEngine"]
+
+#: Event kinds understood by the engine.
+EVENT_KINDS = ("leave", "join", "speed", "burst_on", "burst_off")
+
+
+@dataclass(frozen=True)
+class ScenarioEvent:
+    """One scheduled behavior change for one client.
+
+    ``speed`` sets the client's drift multiplier to ``value`` (absolute);
+    ``burst_on``/``burst_off`` push/pop a transient factor of ``value`` on
+    the client's burst stack; ``leave``/``join`` toggle availability.
+    """
+
+    time: float
+    kind: str
+    client_id: int
+    value: float = 1.0
+
+    def __post_init__(self):
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown scenario event kind {self.kind!r}")
+        if self.time < 0:
+            raise ValueError(f"event time must be >= 0, got {self.time}")
+        if self.value <= 0:
+            raise ValueError(f"event value must be positive, got {self.value}")
+
+
+class ScenarioEngine:
+    """Per-client availability windows and latency-multiplier timelines.
+
+    Build with :meth:`compile` (from a spec + RNG) or :meth:`from_events`
+    (explicit events, mainly for tests). A client is available on
+    ``[join, leave)`` intervals and starts available with multiplier 1.0;
+    transitions apply *at* their timestamp.
+    """
+
+    def __init__(self, num_clients: int, events: list[ScenarioEvent], *, name: str = "custom"):
+        if num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        self.num_clients = num_clients
+        self.name = name
+
+        # Order events through the simulator's queue: deterministic
+        # (time, insertion) ordering, exactly like system events.
+        queue = EventQueue()
+        for ev in events:
+            if not 0 <= ev.client_id < num_clients:
+                raise ValueError(f"event client {ev.client_id} out of range")
+            queue.schedule_at(ev.time, ev)
+
+        self.events: list[ScenarioEvent] = []
+        avail_times: list[list[float]] = [[] for _ in range(num_clients)]
+        avail_state: list[list[bool]] = [[] for _ in range(num_clients)]
+        mult_times: list[list[float]] = [[] for _ in range(num_clients)]
+        mult_values: list[list[float]] = [[] for _ in range(num_clients)]
+        drift = [1.0] * num_clients
+        bursts: list[list[float]] = [[] for _ in range(num_clients)]
+
+        def push_mult(cid: int, t: float) -> None:
+            # Fresh product each time so a closed burst restores the drift
+            # multiplier bit-exactly (empty product is exactly 1.0).
+            mult_times[cid].append(t)
+            mult_values[cid].append(drift[cid] * math.prod(bursts[cid]))
+
+        while not queue.empty:
+            ev: ScenarioEvent = queue.pop().payload
+            self.events.append(ev)
+            cid = ev.client_id
+            if ev.kind == "leave":
+                avail_times[cid].append(ev.time)
+                avail_state[cid].append(False)
+            elif ev.kind == "join":
+                avail_times[cid].append(ev.time)
+                avail_state[cid].append(True)
+            elif ev.kind == "speed":
+                drift[cid] = ev.value
+                push_mult(cid, ev.time)
+            elif ev.kind == "burst_on":
+                bursts[cid].append(ev.value)
+                push_mult(cid, ev.time)
+            elif ev.kind == "burst_off":
+                if ev.value in bursts[cid]:
+                    bursts[cid].remove(ev.value)
+                push_mult(cid, ev.time)
+
+        self._avail_times = avail_times
+        self._avail_state = avail_state
+        self._mult_times = mult_times
+        self._mult_values = mult_values
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_events(
+        cls, num_clients: int, events: list[ScenarioEvent], *, name: str = "custom"
+    ) -> "ScenarioEngine":
+        return cls(num_clients, events, name=name)
+
+    @classmethod
+    def compile(
+        cls,
+        spec: ScenarioSpec,
+        num_clients: int,
+        horizon: float,
+        rng: np.random.Generator,
+    ) -> "ScenarioEngine":
+        """Sample a concrete event timeline from ``spec`` over ``horizon``.
+
+        Deterministic given ``(spec, num_clients, horizon, rng state)``; a
+        static spec draws nothing from ``rng``, so enabling scenarios never
+        perturbs other named RNG streams.
+        """
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        events: list[ScenarioEvent] = []
+        if spec.is_static:
+            return cls(num_clients, events, name=spec.name)
+
+        def pick(fraction: float) -> np.ndarray:
+            k = int(round(fraction * num_clients))
+            if k == 0:
+                return np.empty(0, dtype=np.int64)
+            return np.sort(rng.choice(num_clients, size=k, replace=False))
+
+        # Churn: alternating offline/online stretches per churning client.
+        for cid in pick(spec.churn_fraction).tolist():
+            t = float(rng.uniform(*spec.churn_first_leave)) * horizon
+            while t < horizon:
+                events.append(ScenarioEvent(t, "leave", cid))
+                t += float(rng.uniform(*spec.churn_offline)) * horizon
+                if t >= horizon:
+                    break
+                events.append(ScenarioEvent(t, "join", cid))
+                t += float(rng.uniform(*spec.churn_online)) * horizon
+
+        # Drift: stratified step times, compounding slowdown factors.
+        if spec.drift_steps > 0:
+            for cid in pick(spec.drift_fraction).tolist():
+                mult = 1.0
+                for step in range(spec.drift_steps):
+                    t = (step + float(rng.uniform(0.0, 1.0))) / spec.drift_steps
+                    mult *= float(rng.uniform(*spec.drift_factor))
+                    events.append(ScenarioEvent(t * horizon, "speed", cid, mult))
+
+        # Bursts: episodes that slow a random subset for a short window.
+        for _ in range(spec.burst_count):
+            t0 = float(rng.uniform(0.05, 0.85)) * horizon
+            dur = float(rng.uniform(*spec.burst_duration)) * horizon
+            for cid in pick(spec.burst_fraction).tolist():
+                events.append(ScenarioEvent(t0, "burst_on", cid, spec.burst_factor))
+                events.append(
+                    ScenarioEvent(t0 + dur, "burst_off", cid, spec.burst_factor)
+                )
+
+        return cls(num_clients, events, name=spec.name)
+
+    # ------------------------------------------------------------------ #
+    # Queries (pure functions of time)
+    # ------------------------------------------------------------------ #
+    @property
+    def is_static(self) -> bool:
+        return not self.events
+
+    def is_available(self, client_id: int, t: float) -> bool:
+        """Whether the client is online at virtual time ``t``."""
+        times = self._avail_times[client_id]
+        if not times:
+            return True
+        i = bisect_right(times, t) - 1
+        return self._avail_state[client_id][i] if i >= 0 else True
+
+    def available_throughout(self, client_id: int, start: float, end: float) -> bool:
+        """Online at ``start`` and never leaving during ``(start, end]``."""
+        if not self.is_available(client_id, start):
+            return False
+        times = self._avail_times[client_id]
+        state = self._avail_state[client_id]
+        lo = bisect_right(times, start)
+        hi = bisect_right(times, end)
+        return all(state[i] for i in range(lo, hi))
+
+    def latency_multiplier(self, client_id: int, t: float) -> float:
+        """Combined drift × burst slowdown factor at time ``t``."""
+        times = self._mult_times[client_id]
+        if not times:
+            return 1.0
+        i = bisect_right(times, t) - 1
+        return self._mult_values[client_id][i] if i >= 0 else 1.0
+
+    def next_join_after(self, client_ids, t: float) -> float | None:
+        """Earliest time > ``t`` at which any listed client comes online.
+
+        Lets an event loop schedule a wake-up for a tier whose whole pool is
+        currently churned away instead of retiring it forever.
+        """
+        best: float | None = None
+        for cid in client_ids:
+            times = self._avail_times[cid]
+            state = self._avail_state[cid]
+            for i in range(bisect_right(times, t), len(times)):
+                if state[i]:
+                    if best is None or times[i] < best:
+                        best = times[i]
+                    break
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"ScenarioEngine({self.name!r}, clients={self.num_clients}, "
+            f"events={len(self.events)})"
+        )

@@ -1,0 +1,128 @@
+"""Scenario specifications: declarative descriptions of dynamic worlds.
+
+A :class:`ScenarioSpec` says *how much* time-varying behavior a run should
+see — what fraction of clients churn (leave and rejoin), what fraction
+drift slower over time, and how many burst-straggler episodes hit the
+population. All times are expressed as fractions of the run's virtual-time
+horizon so one spec scales from ``tiny`` to ``paper`` budgets unchanged.
+
+The spec is compiled into concrete, per-client events by
+:class:`repro.scenario.engine.ScenarioEngine`; this module is intentionally
+dependency-free so configuration code can validate scenario strings without
+pulling in the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["ScenarioSpec", "SCENARIO_PRESETS", "parse_scenario", "scenario_names"]
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """How a client population misbehaves over one run.
+
+    Fields ending in a range tuple ``(lo, hi)`` are uniform-draw bounds,
+    expressed as fractions of the horizon (times/durations) or as raw
+    multipliers (speed factors).
+    """
+
+    name: str = "static"
+
+    # --- churn: clients leave and later rejoin ------------------------- #
+    churn_fraction: float = 0.0  # fraction of clients that churn at all
+    churn_first_leave: tuple[float, float] = (0.1, 0.5)  # first departure time
+    churn_offline: tuple[float, float] = (0.1, 0.3)  # offline stretch length
+    churn_online: tuple[float, float] = (0.15, 0.4)  # online stretch length
+
+    # --- speed drift: clients get progressively slower ------------------ #
+    drift_fraction: float = 0.0  # fraction of clients that drift
+    drift_steps: int = 3  # multiplier changes per drifting client
+    drift_factor: tuple[float, float] = (1.3, 2.0)  # per-step slowdown factor
+
+    # --- burst stragglers: transient slowdown episodes ------------------ #
+    burst_count: int = 0  # number of burst episodes
+    burst_fraction: float = 0.25  # fraction of clients hit per burst
+    burst_factor: float = 4.0  # latency multiplier while the burst lasts
+    burst_duration: tuple[float, float] = (0.05, 0.15)  # burst length
+
+    def __post_init__(self):
+        for field_name in ("churn_fraction", "drift_fraction", "burst_fraction"):
+            v = getattr(self, field_name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{field_name} must be in [0, 1], got {v}")
+        for field_name in (
+            "churn_first_leave",
+            "churn_offline",
+            "churn_online",
+            "drift_factor",
+            "burst_duration",
+        ):
+            lo, hi = getattr(self, field_name)
+            if lo < 0 or hi < lo:
+                raise ValueError(f"{field_name} must satisfy 0 <= lo <= hi")
+        if self.drift_steps < 0:
+            raise ValueError("drift_steps must be non-negative")
+        if self.burst_count < 0:
+            raise ValueError("burst_count must be non-negative")
+        if self.burst_factor <= 0:
+            raise ValueError("burst_factor must be positive")
+
+    @property
+    def is_static(self) -> bool:
+        """True when the spec injects no dynamic behavior at all."""
+        return (
+            self.churn_fraction == 0.0
+            and (self.drift_fraction == 0.0 or self.drift_steps == 0)
+            and self.burst_count == 0
+        )
+
+
+#: Named scenario presets selectable from FLConfig / the CLI.
+SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
+    "static": ScenarioSpec(name="static"),
+    "churn": ScenarioSpec(name="churn", churn_fraction=0.3),
+    "drift": ScenarioSpec(name="drift", drift_fraction=0.3),
+    "burst": ScenarioSpec(name="burst", burst_count=3),
+    "chaos": ScenarioSpec(
+        name="chaos", churn_fraction=0.2, drift_fraction=0.2, burst_count=2
+    ),
+}
+
+
+def scenario_names() -> list[str]:
+    return sorted(SCENARIO_PRESETS)
+
+
+def parse_scenario(text: str | None) -> ScenarioSpec:
+    """Parse ``"name"`` or ``"name:arg"`` into a :class:`ScenarioSpec`.
+
+    ``None``/``"none"`` mean static. The optional numeric argument overrides
+    the preset's headline knob: the churn/drift fraction, or the burst
+    count. Examples: ``"churn:0.5"``, ``"drift:0.1"``, ``"burst:5"``.
+    """
+    if text is None:
+        return SCENARIO_PRESETS["static"]
+    name, _, arg = str(text).strip().partition(":")
+    name = name.lower() or "static"
+    if name == "none":
+        name = "static"
+    if name not in SCENARIO_PRESETS:
+        raise ValueError(
+            f"unknown scenario {name!r}; options: {scenario_names()}"
+        )
+    spec = SCENARIO_PRESETS[name]
+    if not arg:
+        return spec
+    try:
+        value = float(arg)
+    except ValueError:
+        raise ValueError(f"bad scenario argument {arg!r} in {text!r}") from None
+    if name == "churn":
+        return replace(spec, churn_fraction=value)
+    if name == "drift":
+        return replace(spec, drift_fraction=value)
+    if name == "burst":
+        return replace(spec, burst_count=int(value))
+    raise ValueError(f"scenario {name!r} takes no argument (got {text!r})")

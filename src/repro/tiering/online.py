@@ -1,0 +1,63 @@
+"""Online re-tiering from observed response latencies.
+
+TiFL (and FedAT, which adopts its tiering) re-profiles clients *during*
+training: the server already observes every response latency, so an EWMA
+over those observations is a free, continuously updated latency estimate.
+Periodically re-splitting clients on the estimates moves drifting clients
+to the tier that matches their current speed — the paper's answer to
+mis-profiling and changing client behavior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.tiering.tiers import Tiering
+
+__all__ = ["LatencyTracker"]
+
+
+class LatencyTracker:
+    """EWMA per-client response-latency estimates, seeded from a prior.
+
+    The prior (profiled or expected latencies) covers clients the server
+    has not heard from yet; the first real observation replaces it outright
+    so a badly mis-profiled client snaps to reality immediately, and later
+    observations blend in with weight ``alpha``.
+    """
+
+    def __init__(self, prior: np.ndarray, *, alpha: float = 0.3):
+        prior = np.asarray(prior, dtype=np.float64)
+        if prior.ndim != 1 or prior.size == 0:
+            raise ValueError("prior must be a non-empty 1-D latency vector")
+        if np.any(prior < 0):
+            raise ValueError("latencies must be non-negative")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.estimates = prior.copy()
+        self.alpha = float(alpha)
+        self.num_observations = np.zeros(prior.size, dtype=np.int64)
+
+    @property
+    def num_clients(self) -> int:
+        return int(self.estimates.size)
+
+    def observe(self, client_id: int, latency: float) -> None:
+        """Fold one observed response latency into the estimate."""
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        i = int(client_id)
+        if self.num_observations[i] == 0:
+            self.estimates[i] = latency
+        else:
+            self.estimates[i] += self.alpha * (latency - self.estimates[i])
+        self.num_observations[i] += 1
+
+    def retier(self, num_tiers: int) -> Tiering:
+        """Split the full population into tiers on current estimates.
+
+        ``allow_empty`` keeps this robust if a caller ever re-tiers a
+        population smaller than ``num_tiers`` (trailing tiers come back
+        empty; the tiered methods guard that case end to end).
+        """
+        return Tiering.from_latencies(self.estimates, num_tiers, allow_empty=True)

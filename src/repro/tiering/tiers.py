@@ -24,16 +24,20 @@ class Tiering:
         self._tier_of = {int(c): m for m, t in enumerate(self.tiers) for c in t}
 
     @staticmethod
-    def from_latencies(latencies: np.ndarray, num_tiers: int) -> "Tiering":
+    def from_latencies(
+        latencies: np.ndarray, num_tiers: int, *, allow_empty: bool = False
+    ) -> "Tiering":
         """Sort clients by latency and split into ``num_tiers`` equal groups.
 
         This is TiFL's tiering approach, which FedAT adopts (§2.1). Ties are
-        broken by client id, making assignment deterministic.
+        broken by client id, making assignment deterministic. With
+        ``allow_empty`` (online re-tiering over a shrunken population) fewer
+        clients than tiers yields trailing empty tiers instead of an error.
         """
         latencies = np.asarray(latencies, dtype=float)
         if num_tiers < 1:
             raise ValueError("num_tiers must be >= 1")
-        if latencies.size < num_tiers:
+        if latencies.size < num_tiers and not allow_empty:
             raise ValueError(
                 f"cannot form {num_tiers} tiers from {latencies.size} clients"
             )

@@ -1,0 +1,153 @@
+"""Sweep runner: grid execution, crash-resume, checkpoint hygiene."""
+
+import json
+
+import pytest
+
+import repro.experiments.sweep as sweep_mod
+from repro.cli import main
+from repro.experiments.sweep import SweepCell, SweepRunner, SweepSpec
+
+
+@pytest.fixture()
+def spec():
+    return SweepSpec(
+        methods=("fedavg", "tifl"),
+        scenarios=("static", "churn"),
+        seeds=(0, 1),
+        dataset="sentiment140",
+        scale="tiny",
+        smoke=True,
+    )
+
+
+def test_spec_validates_and_enumerates(spec):
+    cells = spec.cells()
+    assert len(cells) == 8
+    assert cells[0] == SweepCell("fedavg", "static", 0)
+    assert len({c.cell_id for c in cells}) == 8
+    assert spec.key() == spec.key()
+    with pytest.raises(ValueError):
+        SweepSpec(methods=("sgdboost",))
+    with pytest.raises(ValueError):
+        SweepSpec(methods=("fedavg",), scenarios=("earthquake",))
+    with pytest.raises(ValueError):
+        SweepSpec(methods=("fedavg",), seeds=())
+
+
+def test_sweep_completes_and_summarizes(spec, tmp_path):
+    runner = SweepRunner(spec, tmp_path / "out")
+    summary = runner.run()
+    assert summary["complete"]
+    assert summary["cells_done"] == 8
+    assert set(summary["rows"]) == {
+        f"{m}@{s}" for m in spec.methods for s in spec.scenarios
+    }
+    for row in summary["rows"].values():
+        assert sorted(row["seeds"]) == [0, 1]
+        assert 0.0 <= row["best_accuracy"] <= 1.0
+    table = runner.format_summary(summary)
+    assert "fedavg" in table and "churn" in table and "complete" in table
+    assert (tmp_path / "out" / "summary.json").exists()
+
+
+def test_sweep_kill_and_resume_matches_uninterrupted(spec, tmp_path, monkeypatch):
+    # Uninterrupted reference run.
+    full = SweepRunner(spec, tmp_path / "full")
+    full_summary = full.run()
+
+    # Interrupted run: stop after 3 cells ("kill"), then resume.
+    part = SweepRunner(spec, tmp_path / "part")
+    partial_summary = part.run(max_runs=3)
+    assert not partial_summary["complete"]
+    assert partial_summary["cells_done"] == 3
+    assert not (tmp_path / "part" / "summary.json").exists()
+
+    calls = []
+    real_run = sweep_mod.run_experiment
+    monkeypatch.setattr(
+        sweep_mod, "run_experiment",
+        lambda *a, **k: calls.append(a) or real_run(*a, **k),
+    )
+    resumed_summary = SweepRunner(spec, tmp_path / "part").run()
+    assert len(calls) == 5  # only the pending cells re-ran
+    assert resumed_summary["complete"]
+
+    # Merged results are bit-identical to the uninterrupted sweep.
+    assert resumed_summary == full_summary
+    for cell in spec.cells():
+        a = json.loads((tmp_path / "full" / f"{cell.cell_id}.json").read_text())
+        b = json.loads((tmp_path / "part" / f"{cell.cell_id}.json").read_text())
+        assert a == b, cell.cell_id
+
+
+def test_sweep_reruns_corrupt_and_stale_checkpoints(spec, tmp_path):
+    runner = SweepRunner(spec, tmp_path / "out")
+    cells = spec.cells()
+    runner.run(max_runs=2)
+    done = [c for c in cells if runner.load_cell(c) is not None]
+    assert len(done) == 2
+
+    # Torn write: truncated JSON is treated as missing and re-run.
+    path = runner._cell_path(done[0])
+    path.write_text(path.read_text()[:40])
+    assert runner.load_cell(done[0]) is None
+
+    # Stale spec: a checkpoint from a different grid is not trusted.
+    other = json.loads(runner._cell_path(done[1]).read_text())
+    other["spec_key"] = "deadbeefdeadbeef"
+    runner._cell_path(done[1]).write_text(json.dumps(other))
+    assert runner.load_cell(done[1]) is None
+
+    summary = runner.run()
+    assert summary["complete"]
+    assert all(runner.load_cell(c) is not None for c in cells)
+
+
+def test_smoke_enables_retiering_only_for_dynamic_tiered_cells(spec):
+    runner_overrides = SweepRunner.__new__(SweepRunner)
+    runner_overrides.spec = spec
+    fl = runner_overrides._cell_fl_overrides(SweepCell("tifl", "churn", 0))
+    assert fl["retier_interval"] == sweep_mod.SMOKE_RETIER_INTERVAL
+    fl = runner_overrides._cell_fl_overrides(SweepCell("tifl", "static", 0))
+    assert "retier_interval" not in fl
+    fl = runner_overrides._cell_fl_overrides(SweepCell("fedavg", "churn", 0))
+    assert "retier_interval" not in fl
+
+
+def test_explicit_retier_interval_wins_even_under_smoke(spec):
+    from dataclasses import replace
+
+    runner_overrides = SweepRunner.__new__(SweepRunner)
+    runner_overrides.spec = replace(spec, retier_interval=7)
+    fl = runner_overrides._cell_fl_overrides(SweepCell("tifl", "churn", 0))
+    assert fl["retier_interval"] == 7
+
+
+def test_cli_sweep_smoke(tmp_path, capsys):
+    rc = main(
+        [
+            "sweep", "--methods", "fedavg", "--scenarios", "static,churn",
+            "--seeds", "1", "--smoke", "--dataset", "sentiment140",
+            "--out-dir", str(tmp_path / "cli"),
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fedavg" in out and "scenario" in out and "complete" in out
+
+
+def test_cli_sweep_partial_exit_code(tmp_path, capsys):
+    args = [
+        "sweep", "--methods", "fedavg", "--scenarios", "static,churn",
+        "--seeds", "1", "--smoke", "--dataset", "sentiment140",
+        "--out-dir", str(tmp_path / "cli"),
+    ]
+    assert main(args + ["--max-runs", "1"]) == 3
+    assert main(args) == 0  # resume finishes the grid
+
+
+def test_cli_sweep_rejects_bad_spec(capsys):
+    rc = main(["sweep", "--methods", "sgdboost", "--smoke"])
+    assert rc == 2
+    assert "bad sweep spec" in capsys.readouterr().err

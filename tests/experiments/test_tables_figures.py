@@ -1,6 +1,5 @@
 """Structure tests for the table/figure generators (tiny scale, subsets)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import runner as runner_mod

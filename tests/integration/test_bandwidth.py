@@ -1,7 +1,6 @@
 """Bandwidth-limited transfer time: the communication bottleneck in the
 *time* axis (complements the byte-metering view of Table 2)."""
 
-import numpy as np
 
 from repro.experiments.runner import run_experiment
 

@@ -1,7 +1,6 @@
 """time/bytes-to-accuracy, smoothing and table formatting tests."""
 
 import numpy as np
-import pytest
 
 from repro.metrics.history import EvalRecord, RunHistory
 from repro.metrics.report import (

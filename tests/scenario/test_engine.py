@@ -1,0 +1,215 @@
+"""Scenario engine: deterministic compilation and exact-time firing."""
+
+import numpy as np
+import pytest
+
+from repro.scenario import (
+    SCENARIO_PRESETS,
+    ScenarioEngine,
+    ScenarioEvent,
+    ScenarioSpec,
+    parse_scenario,
+)
+
+
+def _engine(events, n=4):
+    return ScenarioEngine.from_events(n, events)
+
+
+# --------------------------------------------------------------------- #
+# Spec parsing
+# --------------------------------------------------------------------- #
+def test_parse_static_aliases():
+    for text in (None, "static", "none", "STATIC"):
+        assert parse_scenario(text).is_static
+
+
+def test_parse_presets():
+    assert parse_scenario("churn").churn_fraction > 0
+    assert parse_scenario("drift").drift_fraction > 0
+    assert parse_scenario("burst").burst_count > 0
+    chaos = parse_scenario("chaos")
+    assert chaos.churn_fraction > 0 and chaos.drift_fraction > 0
+
+
+def test_parse_argument_overrides_headline_knob():
+    assert parse_scenario("churn:0.5").churn_fraction == 0.5
+    assert parse_scenario("drift:0.1").drift_fraction == 0.1
+    assert parse_scenario("burst:5").burst_count == 5
+
+
+def test_parse_rejects_unknown_and_bad_args():
+    with pytest.raises(ValueError):
+        parse_scenario("earthquake")
+    with pytest.raises(ValueError):
+        parse_scenario("churn:lots")
+    with pytest.raises(ValueError):
+        parse_scenario("churn:1.5")  # fraction out of range
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        ScenarioSpec(drift_steps=-1)
+    with pytest.raises(ValueError):
+        ScenarioSpec(burst_factor=0.0)
+    with pytest.raises(ValueError):
+        ScenarioSpec(churn_offline=(0.5, 0.1))  # hi < lo
+
+
+# --------------------------------------------------------------------- #
+# Availability (churn) timelines
+# --------------------------------------------------------------------- #
+def test_availability_fires_at_exact_virtual_times():
+    eng = _engine(
+        [
+            ScenarioEvent(10.0, "leave", 1),
+            ScenarioEvent(20.0, "join", 1),
+        ]
+    )
+    assert eng.is_available(1, 0.0)
+    assert eng.is_available(1, 9.999999)
+    assert not eng.is_available(1, 10.0)  # transition applies at its time
+    assert not eng.is_available(1, 19.999999)
+    assert eng.is_available(1, 20.0)
+    # Clients without events are always available.
+    assert eng.is_available(0, 10.0) and eng.is_available(2, 1e9)
+
+
+def test_available_throughout_respects_mid_round_departures():
+    eng = _engine(
+        [
+            ScenarioEvent(10.0, "leave", 1),
+            ScenarioEvent(20.0, "join", 1),
+        ]
+    )
+    assert eng.available_throughout(1, 0.0, 9.0)
+    assert not eng.available_throughout(1, 0.0, 10.0)  # leaves at the end
+    assert not eng.available_throughout(1, 12.0, 15.0)  # offline window
+    assert eng.available_throughout(1, 20.0, 100.0)
+    # Leaves and rejoins inside the window: still a miss.
+    assert not eng.available_throughout(1, 5.0, 25.0)
+
+
+def test_simultaneous_events_resolve_in_insertion_order():
+    eng = _engine(
+        [
+            ScenarioEvent(5.0, "leave", 0),
+            ScenarioEvent(5.0, "join", 0),  # inserted later: wins at t=5
+        ]
+    )
+    assert eng.is_available(0, 5.0)
+
+
+def test_next_join_after():
+    eng = _engine(
+        [
+            ScenarioEvent(10.0, "leave", 1),
+            ScenarioEvent(20.0, "join", 1),
+            ScenarioEvent(15.0, "leave", 2),
+            ScenarioEvent(17.0, "join", 2),
+        ]
+    )
+    assert eng.next_join_after([1, 2], 10.0) == 17.0
+    assert eng.next_join_after([1], 10.0) == 20.0
+    assert eng.next_join_after([1, 2], 20.0) is None
+    assert eng.next_join_after([0], 0.0) is None
+
+
+# --------------------------------------------------------------------- #
+# Latency-multiplier (drift / burst) timelines
+# --------------------------------------------------------------------- #
+def test_speed_breakpoints_fire_at_exact_times():
+    eng = _engine(
+        [
+            ScenarioEvent(5.0, "speed", 0, 2.0),
+            ScenarioEvent(9.0, "speed", 0, 3.0),
+        ]
+    )
+    assert eng.latency_multiplier(0, 4.999999) == 1.0
+    assert eng.latency_multiplier(0, 5.0) == 2.0
+    assert eng.latency_multiplier(0, 8.999999) == 2.0
+    assert eng.latency_multiplier(0, 9.0) == 3.0
+    assert eng.latency_multiplier(1, 9.0) == 1.0  # other clients untouched
+
+
+def test_burst_stacks_on_drift_and_restores_exactly():
+    eng = _engine(
+        [
+            ScenarioEvent(2.0, "speed", 0, 1.5),
+            ScenarioEvent(3.0, "burst_on", 0, 4.0),
+            ScenarioEvent(7.0, "burst_off", 0, 4.0),
+        ]
+    )
+    assert eng.latency_multiplier(0, 2.5) == 1.5
+    assert eng.latency_multiplier(0, 3.0) == 1.5 * 4.0
+    # After the burst closes the drift multiplier is restored bit-exactly.
+    assert eng.latency_multiplier(0, 7.0) == 1.5
+
+
+# --------------------------------------------------------------------- #
+# Compilation from specs
+# --------------------------------------------------------------------- #
+def test_static_spec_compiles_to_no_events():
+    eng = ScenarioEngine.compile(
+        SCENARIO_PRESETS["static"], 10, 100.0, np.random.default_rng(0)
+    )
+    assert eng.is_static and not eng.events
+
+
+def test_compile_is_deterministic_per_rng_state():
+    spec = SCENARIO_PRESETS["chaos"]
+    a = ScenarioEngine.compile(spec, 20, 100.0, np.random.default_rng(7))
+    b = ScenarioEngine.compile(spec, 20, 100.0, np.random.default_rng(7))
+    c = ScenarioEngine.compile(spec, 20, 100.0, np.random.default_rng(8))
+    assert a.events == b.events
+    assert a.events != c.events
+    assert len(a.events) > 0
+
+
+def test_churn_compilation_schedules_alternating_windows():
+    spec = ScenarioSpec(name="churn", churn_fraction=0.5)
+    eng = ScenarioEngine.compile(spec, 10, 100.0, np.random.default_rng(1))
+    churners = {e.client_id for e in eng.events}
+    assert len(churners) == 5  # round(0.5 * 10)
+    for cid in churners:
+        kinds = [e.kind for e in eng.events if e.client_id == cid]
+        # Strict leave/join alternation starting with a departure.
+        assert kinds[0] == "leave"
+        assert all(
+            k == ("leave" if i % 2 == 0 else "join") for i, k in enumerate(kinds)
+        )
+    assert all(0.0 <= e.time < 100.0 for e in eng.events)
+
+
+def test_drift_compilation_is_monotonically_slower():
+    spec = ScenarioSpec(name="drift", drift_fraction=1.0, drift_steps=4)
+    eng = ScenarioEngine.compile(spec, 6, 50.0, np.random.default_rng(2))
+    for cid in range(6):
+        mults = [e.value for e in eng.events if e.client_id == cid]
+        assert len(mults) == 4
+        assert all(b > a for a, b in zip(mults, mults[1:]))
+        assert mults[0] > 1.0
+        # The timeline reflects the final compounded slowdown.
+        assert eng.latency_multiplier(cid, 50.0) == mults[-1]
+
+
+def test_burst_compilation_hits_a_subset_for_a_window():
+    spec = ScenarioSpec(name="burst", burst_count=2, burst_fraction=0.5)
+    eng = ScenarioEngine.compile(spec, 8, 100.0, np.random.default_rng(3))
+    on = [e for e in eng.events if e.kind == "burst_on"]
+    off = [e for e in eng.events if e.kind == "burst_off"]
+    assert len(on) == len(off) == 2 * 4  # 2 bursts x round(0.5*8) clients
+    assert all(e.value == spec.burst_factor for e in on)
+    # During a burst the multiplier is the burst factor; before, 1.0.
+    e0 = on[0]
+    assert eng.latency_multiplier(e0.client_id, e0.time) == spec.burst_factor
+    assert eng.latency_multiplier(e0.client_id, 0.0) == 1.0
+
+
+def test_engine_rejects_bad_events():
+    with pytest.raises(ValueError):
+        ScenarioEvent(-1.0, "leave", 0)
+    with pytest.raises(ValueError):
+        ScenarioEvent(0.0, "explode", 0)
+    with pytest.raises(ValueError):
+        _engine([ScenarioEvent(0.0, "leave", 99)], n=4)  # client out of range

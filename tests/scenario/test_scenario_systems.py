@@ -1,0 +1,270 @@
+"""Scenario ↔ FL-system integration.
+
+Locks the three contract points: (1) a static scenario is bit-identical to
+the scenario-free simulator for every method family; (2) churn/drift
+genuinely change who participates and how long rounds take; (3) online
+re-tiering moves a drifting client into a slower tier and survives tiers
+emptying/refilling.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import FedAsync, FedAvg, TiFL
+from repro.core.config import FLConfig
+from repro.core.fedat import FedAT
+from repro.core.server import TieredServer
+from repro.experiments.config import build_model_builder
+from repro.experiments.runner import run_experiment
+from repro.scenario import ScenarioEngine, ScenarioEvent
+from repro.tiering.online import LatencyTracker
+from repro.tiering.tiers import Tiering
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.data.datasets import make_dataset
+
+    return make_dataset(
+        "sentiment140",
+        np.random.default_rng(7),
+        num_clients=12,
+        samples_per_client=24,
+        noise=0.7,
+        writer_shift=0.3,
+    )
+
+
+def _config(**overrides):
+    base = dict(
+        clients_per_round=4, local_epochs=1, max_rounds=6, eval_every=2,
+        num_tiers=3, num_unstable=0, seed=7, compression=None, max_time=400.0,
+    )
+    base.update(overrides)
+    return FLConfig(**base)
+
+
+def _build(cls, dataset, **overrides):
+    return cls(dataset, build_model_builder(dataset, "tiny"), _config(**overrides))
+
+
+# --------------------------------------------------------------------- #
+# No-regression: static scenario is bit-identical
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("method", ["fedat", "tifl", "fedavg", "fedasync"])
+def test_static_scenario_bit_identical(method):
+    plain = run_experiment(
+        method, "sentiment140", scale="tiny", seed=5, max_rounds=5
+    )
+    static = run_experiment(
+        method, "sentiment140", scale="tiny", seed=5, max_rounds=5,
+        scenario="static",
+    )
+    assert plain.to_dict()["records"] == static.to_dict()["records"]
+
+
+def test_dynamic_scenario_changes_history():
+    plain = run_experiment(
+        "fedavg", "sentiment140", scale="tiny", seed=5, max_rounds=5
+    )
+    churn = run_experiment(
+        "fedavg", "sentiment140", scale="tiny", seed=5, max_rounds=5,
+        scenario="churn:0.9",
+    )
+    assert plain.to_dict()["records"] != churn.to_dict()["records"]
+
+
+# --------------------------------------------------------------------- #
+# Availability and latency hooks
+# --------------------------------------------------------------------- #
+def test_alive_excludes_churned_clients(dataset):
+    system = _build(FedAvg, dataset)
+    try:
+        system.scenario = ScenarioEngine.from_events(
+            dataset.num_clients,
+            [ScenarioEvent(10.0, "leave", 3), ScenarioEvent(30.0, "join", 3)],
+        )
+        everyone = list(range(dataset.num_clients))
+        assert 3 in system.alive(everyone, 5.0)
+        assert 3 not in system.alive(everyone, 10.0)
+        assert 3 not in system.alive(everyone, 29.0)
+        assert 3 in system.alive(everyone, 30.0)
+        # A round spanning the departure never reports back.
+        assert system.completes(3, 5.0, 9.0)
+        assert not system.completes(3, 5.0, 12.0)
+    finally:
+        system.executor.close()
+
+
+def test_sample_latency_applies_drift_multiplier(dataset):
+    system = _build(FedAvg, dataset, seed=11)
+    try:
+        factor = 7.0
+        system.scenario = ScenarioEngine.from_events(
+            dataset.num_clients, [ScenarioEvent(0.0, "speed", 2, factor)]
+        )
+        system.now = 1.0
+        rng_state = system._latency_rng.bit_generator.state
+        slowed = system.sample_latency(2)
+        system._latency_rng.bit_generator.state = rng_state
+        system.scenario = ScenarioEngine.from_events(dataset.num_clients, [])
+        base = system.sample_latency(2)
+        assert slowed == pytest.approx(base * factor)
+    finally:
+        system.executor.close()
+
+
+# --------------------------------------------------------------------- #
+# Online re-tiering
+# --------------------------------------------------------------------- #
+def test_latency_tracker_blends_observations():
+    tracker = LatencyTracker(np.array([1.0, 2.0, 3.0]), alpha=0.5)
+    tracker.observe(0, 9.0)  # first observation replaces the prior
+    assert tracker.estimates[0] == 9.0
+    tracker.observe(0, 5.0)  # later ones blend with alpha
+    assert tracker.estimates[0] == pytest.approx(7.0)
+    assert tracker.estimates[1] == 2.0  # untouched clients keep the prior
+    tiering = tracker.retier(3)
+    assert tiering.num_clients == 3
+    with pytest.raises(ValueError):
+        tracker.observe(1, -1.0)
+    with pytest.raises(ValueError):
+        LatencyTracker(np.array([1.0]), alpha=0.0)
+
+
+def test_retier_moves_drifted_client_to_slower_tier(dataset):
+    system = _build(
+        FedAT, dataset,
+        max_rounds=40, retier_interval=4, retier_ewma=0.8, clients_per_round=4,
+    )
+    try:
+        victim = int(system.tiering.clients_in(0)[0])  # fastest tier member
+        # From t=1 the victim is 60x slower than its profile claimed.
+        system.scenario = ScenarioEngine.from_events(
+            dataset.num_clients, [ScenarioEvent(1.0, "speed", victim, 60.0)]
+        )
+        history = system.run()
+        assert system.tiering.tier_of(victim) > 0
+        trace = history.meta["retier_trace"]
+        assert trace and all(t["sizes"] for t in trace)
+        assert sum(t["moved"] for t in trace) > 0
+    finally:
+        pass  # run() already closed the executor
+
+
+def test_tifl_retier_runs_and_traces(dataset):
+    system = _build(
+        TiFL, dataset,
+        max_rounds=8, retier_interval=2, retier_ewma=0.8, scenario="drift:0.5",
+    )
+    history = system.run()
+    trace = history.meta["retier_trace"]
+    assert trace
+    assert all(sum(t["sizes"]) == dataset.num_clients for t in trace)
+
+
+# --------------------------------------------------------------------- #
+# Empty-tier safety
+# --------------------------------------------------------------------- #
+def test_tiering_allows_empty_tiers_when_asked():
+    with pytest.raises(ValueError):
+        Tiering.from_latencies(np.array([1.0, 2.0]), 3)
+    tiering = Tiering.from_latencies(np.array([1.0, 2.0]), 3, allow_empty=True)
+    assert tiering.num_tiers == 3
+    assert 0 in tiering.sizes()
+    assert tiering.num_clients == 2
+
+
+def test_tiered_server_guards_empty_tier_weights():
+    server = TieredServer(np.zeros(4), 3)
+    w = np.ones(4)
+    # All update mass sits on tier 0; masking the tier holding the weight
+    # (mirror-indexed: tier 2) must not divide by zero.
+    server.submit_tier_update(0, w)
+    server.set_active_tiers([True, True, False])
+    weights = server.tier_weight_vector()
+    assert weights is not None
+    assert weights.sum() == pytest.approx(1.0)
+    assert weights[2] == 0.0
+    global_after = server.submit_tier_update(0, w)
+    assert np.all(np.isfinite(global_after))
+    # No active tiers at all: the global model is left untouched.
+    server.set_active_tiers([False, False, False])
+    before = server.global_weights.copy()
+    after = server.submit_tier_update(0, w)
+    assert np.array_equal(after, before)
+
+
+def test_tifl_with_empty_tier_selects_safely(dataset):
+    empty_tiering = Tiering(
+        [
+            np.arange(0, 6),
+            np.arange(6, 12),
+            np.array([], dtype=np.int64),
+        ]
+    )
+    system = _build(TiFL, dataset, max_rounds=4, tifl_interval=2)
+    system.tiering = empty_tiering
+    system._tier_evaluators = system._build_tier_evaluators()
+    history = system.run()
+    assert len(history.records) >= 2
+    assert all(t != 2 for t in history.meta["tier_selection_trace"])
+
+
+def test_retier_tracker_never_sees_unreported_rounds(dataset):
+    system = _build(FedAT, dataset, max_rounds=12, retier_interval=4)
+    victim = int(system.tiering.clients_in(0)[0])
+    # The victim churns away at t=0.5 — before any round it joined at t=0
+    # can finish — and never rejoins: the server must never observe it.
+    system.scenario = ScenarioEngine.from_events(
+        dataset.num_clients, [ScenarioEvent(0.5, "leave", victim)]
+    )
+    system.run()
+    assert system.retier_tracker.num_observations[victim] == 0
+    assert system.retier_tracker.num_observations.sum() > 0
+
+
+def test_fedasync_relaunches_churned_clients(dataset):
+    system = _build(FedAsync, dataset, max_rounds=4000, max_time=60.0)
+    # Everyone churns offline at t=5 and rejoins at t=20: every in-flight
+    # cycle is lost, so without relaunch events the run would end at t~5.
+    system.scenario = ScenarioEngine.from_events(
+        dataset.num_clients,
+        [ScenarioEvent(5.0, "leave", c) for c in range(dataset.num_clients)]
+        + [ScenarioEvent(20.0, "join", c) for c in range(dataset.num_clients)],
+    )
+    history = system.run()
+    assert history.times()[-1] > 20.0
+    assert history.rounds()[-1] > 0
+
+
+def test_sync_run_survives_transient_total_churn(dataset):
+    system = _build(FedAvg, dataset, max_rounds=50, max_time=120.0)
+    # A window where the whole population is offline: the loop must idle
+    # until the rejoin instead of declaring the federation dead.
+    system.scenario = ScenarioEngine.from_events(
+        dataset.num_clients,
+        [ScenarioEvent(0.0, "leave", c) for c in range(dataset.num_clients)]
+        + [ScenarioEvent(40.0, "join", c) for c in range(dataset.num_clients)],
+    )
+    history = system.run()
+    assert history.rounds()[-1] > 0
+    assert history.times()[-1] >= 40.0
+
+
+def test_fedat_tier_revives_after_mass_churn(dataset):
+    system = _build(
+        FedAT, dataset, num_tiers=1, max_rounds=500, max_time=120.0,
+    )
+    # Everyone leaves at t=30 and returns at t=60: without wake events the
+    # single tier would retire forever and the run would stall at t~30.
+    system.scenario = ScenarioEngine.from_events(
+        dataset.num_clients,
+        [ScenarioEvent(30.0, "leave", c) for c in range(dataset.num_clients)]
+        + [ScenarioEvent(60.0, "join", c) for c in range(dataset.num_clients)],
+    )
+    history = system.run()
+    times = history.times()
+    assert times[-1] > 60.0
+    counts = history.meta["tier_update_counts"]
+    assert counts[0] > 0

@@ -1,6 +1,5 @@
 """Event queue tests: ordering, clock, causality."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

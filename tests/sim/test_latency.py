@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.sim.latency import (
-    PAPER_DELAY_BANDS,
     ComputeModel,
     ResponseLatencyModel,
     TierDelayModel,
