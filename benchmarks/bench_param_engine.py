@@ -1,0 +1,248 @@
+"""Parameter-engine benchmark: zero-copy flat store vs the legacy layout.
+
+Measures the marshalling hot path this repo's FL loops hammer every round:
+
+- **flat-weights roundtrip** — ``get_flat_weights`` + ``set_flat_weights``
+  through the flat store (one memcpy + one ``copyto``) vs the legacy
+  concatenate/split layout; the acceptance bar is a >= 1.5x speedup;
+- **optimizer step** — whole-buffer Adam vs the per-parameter loop;
+- **cohort dispatch** — ``ParallelExecutor`` rounds with the shared-memory
+  broadcast vs forced pickle dispatch;
+- **end-to-end training** — clients/s through a ``SerialExecutor`` cohort
+  (the same workload shape as ``bench_executor_scaling.py``), store vs
+  legacy layout.
+
+Writes the machine-readable trajectory point to
+``bench_results/param_engine.json``; ``scripts/check_param_engine.py``
+compares a fresh run against the committed baseline and fails on a >25%
+roundtrip regression. Run with
+
+    python -m pytest benchmarks/bench_param_engine.py -q -s
+
+``REPRO_SMOKE=1`` shrinks iteration counts so CI smoke stays in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+import repro.nn.model as model_mod
+from repro.data.datasets import make_dataset
+from repro.exec import CohortTask, OptimizerSpec, ParallelExecutor, SerialExecutor
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optimizers import Adam
+from repro.nn.zoo import build_cnn
+from repro.sim.client import SimClient
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+ROUNDTRIP_ITERS = 500 if SMOKE else 5000
+STEP_ITERS = 200 if SMOKE else 2000
+NUM_CLIENTS = 16 if SMOKE else 64
+DISPATCH_ROUNDS = 2 if SMOKE else 6
+
+
+def _build_model(use_store: bool):
+    prev = model_mod.DEFAULT_FLAT_STORE
+    model_mod.DEFAULT_FLAT_STORE = use_store
+    try:
+        return build_cnn(
+            (8, 8, 3), 10,
+            rng=np.random.default_rng(1), filters=(6, 12, 12), dense_units=24,
+        )
+    finally:
+        model_mod.DEFAULT_FLAT_STORE = prev
+
+
+def _timed_block(fn, n: int) -> float:
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return time.perf_counter() - t0
+
+
+def _time_pair(fn_store, fn_legacy, iters: int, repeats: int = 9) -> tuple[float, float]:
+    """Total seconds for ``iters`` calls of each fn, interleaved min-over-repeats.
+
+    Two noise killers, both needed for a run-to-run-stable *ratio* (what the
+    regression gate compares): the minimum of several timed blocks discards
+    scheduler contention (contention only ever adds time), and interleaving
+    the two sides block by block exposes both to the same host-speed drift —
+    timing them in separate phases seconds apart is exactly how a CPU
+    frequency change turns into a phantom 30% regression.
+    """
+    fn_store()
+    fn_legacy()  # warmup both
+    block = max(iters // repeats, 1)
+    best_store = best_legacy = float("inf")
+    for _ in range(repeats):
+        best_store = min(best_store, _timed_block(fn_store, block))
+        best_legacy = min(best_legacy, _timed_block(fn_legacy, block))
+    scale = iters / block
+    return best_store * scale, best_legacy * scale
+
+
+def _bench_roundtrip() -> dict:
+    """get_flat_weights + set_flat_weights, store vs legacy layout."""
+
+    def make_roundtrip(use_store):
+        model = _build_model(use_store)
+        flat = model.get_flat_weights()
+
+        def roundtrip():
+            model.set_flat_weights(model.get_flat_weights())
+            model.set_flat_weights(flat)
+
+        return roundtrip
+
+    store_s, legacy_s = _time_pair(
+        make_roundtrip(True), make_roundtrip(False), ROUNDTRIP_ITERS
+    )
+    return {
+        "store_s": store_s,
+        "legacy_s": legacy_s,
+        "iters": ROUNDTRIP_ITERS,
+        "speedup": legacy_s / store_s,
+    }
+
+
+def _bench_optimizer_step() -> dict:
+    """One Adam step over all parameters, flat vs per-parameter."""
+    rng = np.random.default_rng(3)
+
+    def make_step(use_store):
+        model = _build_model(use_store)
+        grads = rng.normal(size=model.num_params)
+        opt = Adam(0.005)
+        if model.store is not None:
+            def step():
+                model.store.grad[:] = grads
+                opt.step(model.params, store=model.store)
+        else:
+            splits = model.weight_spec.split(grads)
+
+            def step():
+                for p, g in zip(model.params, splits):
+                    np.copyto(p.grad, g)
+                opt.step(model.params)
+        return step
+
+    store_s, legacy_s = _time_pair(make_step(True), make_step(False), STEP_ITERS)
+    return {
+        "store_s": store_s,
+        "legacy_s": legacy_s,
+        "iters": STEP_ITERS,
+        "speedup": legacy_s / store_s,
+    }
+
+
+def _cohort_setup():
+    dataset = make_dataset(
+        "cifar10",
+        np.random.default_rng(0),
+        num_clients=NUM_CLIENTS,
+        samples_per_client=16,
+        image_shape=(8, 8, 3),
+        classes_per_client=2,
+    )
+    model = _build_model(True)
+    clients = [SimClient(c, None, batch_size=10, seed=0) for c in dataset.clients]
+    tasks = [
+        CohortTask(client_id=i, epochs=1, lam=0.4, latency=1.0, start_epoch=0)
+        for i in range(NUM_CLIENTS)
+    ]
+    return model, clients, tasks
+
+
+def _bench_dispatch(model, clients, tasks) -> dict:
+    """Parallel cohort rounds: shared-memory broadcast vs pickle dispatch."""
+    loss, opt = SoftmaxCrossEntropy(), OptimizerSpec("adam", 0.005)
+    start = model.get_flat_weights()
+    out = {}
+    for label, shared in (("shm", True), ("pickle", False)):
+        with ParallelExecutor(
+            model, clients, loss, opt, num_workers=2, shared_broadcast=shared
+        ) as ex:
+            ex.run_cohort(start, tasks)  # warm the pool outside timing
+            t0 = time.perf_counter()
+            for _ in range(DISPATCH_ROUNDS):
+                ex.run_cohort(start, tasks)
+            out[f"{label}_s"] = time.perf_counter() - t0
+            if shared:
+                out["shm_active"] = ex.shm_fallback_reason is None
+    out["rounds"] = DISPATCH_ROUNDS
+    out["clients_per_round"] = len(tasks)
+    out["speedup"] = out["pickle_s"] / out["shm_s"]
+    return out
+
+
+def _bench_end_to_end(clients, tasks) -> dict:
+    """Serial cohort training throughput (clients/s), store vs legacy —
+    the bench_executor_scaling workload with the layout as the variable."""
+    loss, opt = SoftmaxCrossEntropy(), OptimizerSpec("adam", 0.005)
+    repeats = 2 if SMOKE else 3
+    out = {}
+    for label, use_store in (("store", True), ("legacy", False)):
+        model = _build_model(use_store)
+        executor = SerialExecutor(model, clients, loss, opt)
+        start = model.get_flat_weights()
+        executor.run_cohort(start, tasks[:2])  # warmup
+        dt, results = None, None
+        for _ in range(repeats):  # min-over-repeats, like _time
+            t0 = time.perf_counter()
+            results = executor.run_cohort(start, tasks)
+            dt = min(time.perf_counter() - t0, dt or float("inf"))
+        out[f"{label}_s"] = dt
+        out[f"{label}_clients_per_s"] = len(tasks) / dt
+        out.setdefault("fingerprint", {})[label] = results[0].weights.tobytes().hex()[:32]
+    # Same layout, same bytes: the layouts must agree before we compare speed.
+    fp = out.pop("fingerprint")
+    assert fp["store"] == fp["legacy"], "store and legacy layouts diverged"
+    out["clients"] = len(tasks)
+    out["speedup"] = out["legacy_s"] / out["store_s"]
+    return out
+
+
+def test_param_engine(artifact):
+    roundtrip = _bench_roundtrip()
+    step = _bench_optimizer_step()
+    model, clients, tasks = _cohort_setup()
+    dispatch = _bench_dispatch(model, clients, tasks)
+    end_to_end = _bench_end_to_end(clients, tasks)
+
+    print(f"\nparam engine — {model.num_params} params, "
+          f"{os.cpu_count()} CPUs{' [smoke]' if SMOKE else ''}")
+    print(f"{'section':<22}{'legacy/pickle':>14}{'store/shm':>12}{'speedup':>9}")
+    for name, row, a, b in (
+        ("flat roundtrip", roundtrip, "legacy_s", "store_s"),
+        ("optimizer step", step, "legacy_s", "store_s"),
+        ("cohort dispatch", dispatch, "pickle_s", "shm_s"),
+        ("end-to-end serial", end_to_end, "legacy_s", "store_s"),
+    ):
+        print(f"{name:<22}{row[a]:>13.3f}s{row[b]:>11.3f}s{row['speedup']:>8.2f}x")
+
+    artifact(
+        "param_engine",
+        {
+            "num_params": model.num_params,
+            "cpu_count": os.cpu_count(),
+            "smoke": SMOKE,
+            "flat_roundtrip": roundtrip,
+            "optimizer_step": step,
+            "cohort_dispatch": dispatch,
+            "end_to_end": end_to_end,
+        },
+    )
+    # The acceptance bar for the refactor: marshalling must get much
+    # cheaper, and whole-run training must not get slower. Wall-clock
+    # ratios are too noisy for a hard gate on shared PR runners, so the
+    # end-to-end assert only fires in full (nightly) mode.
+    assert roundtrip["speedup"] >= 1.5, (
+        f"flat-weights roundtrip speedup {roundtrip['speedup']:.2f}x < 1.5x"
+    )
+    if not SMOKE:
+        assert end_to_end["speedup"] > 0.9, (
+            f"end-to-end serial training regressed: {end_to_end['speedup']:.2f}x"
+        )

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Perf-regression gate for the parameter engine.
+
+Compares a fresh ``bench_param_engine.py`` artifact against the committed
+baseline and fails (exit 1) when the flat-weights roundtrip *speedup ratio*
+— store layout vs legacy layout on the same machine, so the statistic is
+hardware-normalized — regresses more than the allowed fraction, or drops
+below the 1.5x acceptance floor.
+
+Usage (what the nightly workflow runs)::
+
+    python -m pytest benchmarks/bench_param_engine.py -q -s   # writes fresh
+    python scripts/check_param_engine.py \
+        --fresh bench_results/param_engine.json \
+        --baseline benchmarks/baselines/param_engine_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Fail when the fresh roundtrip speedup falls below (1 - tolerance) x baseline.
+DEFAULT_TOLERANCE = 0.25
+#: Absolute floor from the refactor's acceptance criteria.
+SPEEDUP_FLOOR = 1.5
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    failures = []
+    fresh_speedup = fresh["flat_roundtrip"]["speedup"]
+    base_speedup = baseline["flat_roundtrip"]["speedup"]
+    allowed = base_speedup * (1.0 - tolerance)
+    if fresh_speedup < allowed:
+        failures.append(
+            f"flat-weights roundtrip regressed: speedup {fresh_speedup:.2f}x "
+            f"< {allowed:.2f}x ({(1 - tolerance) * 100:.0f}% of baseline "
+            f"{base_speedup:.2f}x)"
+        )
+    if fresh_speedup < SPEEDUP_FLOOR:
+        failures.append(
+            f"flat-weights roundtrip speedup {fresh_speedup:.2f}x is below "
+            f"the {SPEEDUP_FLOOR}x acceptance floor"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default="bench_results/param_engine.json")
+    parser.add_argument(
+        "--baseline", default="benchmarks/baselines/param_engine_baseline.json"
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    fresh_path, base_path = Path(args.fresh), Path(args.baseline)
+    if not fresh_path.exists():
+        print(f"fresh artifact missing: {fresh_path} (run bench_param_engine.py)")
+        return 1
+    if not base_path.exists():
+        print(f"committed baseline missing: {base_path}")
+        return 1
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(base_path.read_text())
+
+    failures = check(fresh, baseline, args.tolerance)
+    rt_fresh, rt_base = fresh["flat_roundtrip"], baseline["flat_roundtrip"]
+    print(
+        f"flat roundtrip: fresh {rt_fresh['speedup']:.2f}x vs baseline "
+        f"{rt_base['speedup']:.2f}x (tolerance {args.tolerance * 100:.0f}%)"
+    )
+    for section in ("optimizer_step", "cohort_dispatch", "end_to_end"):
+        if section in fresh:
+            print(f"{section}: {fresh[section]['speedup']:.2f}x (informational)")
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("param-engine perf check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

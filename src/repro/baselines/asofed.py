@@ -41,9 +41,10 @@ class ASOFed(FLSystem):
         self._k = k
 
     def _install_copy(self, client_id: int, weights: np.ndarray) -> None:
-        self._copy_sum += weights - self._copies[client_id]
-        self._copies[client_id] = weights
-        self.global_weights = self._copy_sum / self._k
+        with self.timers.phase("aggregate"):
+            self._copy_sum += weights - self._copies[client_id]
+            self._copies[client_id] = weights
+            self.global_weights = self._copy_sum / self._k
 
     def _launch(self, client_id: int, queue: EventQueue) -> None:
         self._launch_cohort([client_id], queue)

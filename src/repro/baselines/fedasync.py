@@ -56,7 +56,8 @@ class FedAsync(FLSystem):
         alpha = cfg.fedasync_alpha * staleness_factor(
             cfg.fedasync_staleness, staleness, cfg.fedasync_a
         )
-        self.global_weights = (1.0 - alpha) * self.global_weights + alpha * local
+        with self.timers.phase("aggregate"):
+            self.global_weights = (1.0 - alpha) * self.global_weights + alpha * local
 
     def _launch(self, client_id: int, queue: EventQueue) -> None:
         """Start one client cycle: download, train, schedule the upload."""

@@ -79,6 +79,7 @@ class TiFL(SyncFLSystem):
                         task=dataset.task,
                     ),
                     self.worker,
+                    eval_batch_size=self.config.eval_batch_size,
                 )
             )
         return evaluators

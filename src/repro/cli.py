@@ -57,6 +57,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="client-execution backend (default: serial)")
     run_p.add_argument("--num-workers", type=int, default=None,
                        help="parallel pool size (0 = CPU count)")
+    run_p.add_argument("--dtype", default=None, choices=["float64", "float32"],
+                       help="model parameter dtype (float32 halves memory "
+                       "bandwidth; float64 keeps bit-identical histories)")
     run_p.add_argument("--scenario", default=None,
                        help='dynamic-world scenario, e.g. "static", "churn", '
                        '"drift:0.5", "burst", "chaos"')
@@ -139,6 +142,8 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         kwargs["executor"] = args.executor
     if getattr(args, "num_workers", None) is not None:
         kwargs["num_workers"] = args.num_workers
+    if getattr(args, "dtype", None) is not None:
+        kwargs["dtype"] = args.dtype
     if getattr(args, "scenario", None) is not None:
         kwargs["scenario"] = args.scenario
     if getattr(args, "retier_interval", None) is not None:
@@ -170,6 +175,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(f"final accuracy : {history.final_accuracy():.4f}")
     print(f"acc variance   : {history.mean_accuracy_variance():.5f}")
     print(f"total transfer : {history.total_bytes()[-1] / 1e6:.2f} MB")
+    phases = history.meta.get("phase_seconds") or {}
+    if phases:
+        total = sum(phases.values())
+        breakdown = "  ".join(f"{k}={v:.2f}s" for k, v in phases.items())
+        print(f"wall clock     : {breakdown}  (phases total {total:.2f}s)")
     if args.out:
         save_json(args.out, history.to_dict())
         print(f"history saved  : {args.out}")

@@ -31,6 +31,7 @@ from repro.sim.failures import UnstableClientPolicy
 from repro.sim.latency import ComputeModel, ResponseLatencyModel, TierDelayModel
 from repro.sim.network import NetworkMeter
 from repro.utils.rng import SeedSequenceFactory
+from repro.utils.timing import PhaseTimers
 
 __all__ = ["FLSystem", "SyncFLSystem", "RelaunchClient"]
 
@@ -74,9 +75,21 @@ class FLSystem:
         # Worker model: the serial executor trains every client through this
         # shared instance; the parallel executor clones it per pool worker.
         self.worker = model_builder(self.factory.rng("model/init"))
+        if config.dtype != "float64":
+            # Initialize in float64 first (identical draws to the reference
+            # histories), then re-materialize the flat store at the reduced
+            # precision.
+            self.worker.astype(np.dtype(config.dtype))
         self.initial_flat = self.worker.get_flat_weights()
-        self.evaluator = Evaluator(dataset, self.worker)
+        # The evaluator owns a model replica (when faithful): evaluation
+        # must never write into the worker's shared flat buffer mid-run.
+        self.evaluator = Evaluator(
+            dataset, self.worker, eval_batch_size=config.eval_batch_size
+        )
         self.loss = SoftmaxCrossEntropy()
+        #: Wall-clock seconds per phase (train/encode/aggregate/eval),
+        #: published to ``history.meta["phase_seconds"]`` after the run.
+        self.timers = PhaseTimers()
 
         # Environment: identical across methods for a given seed.
         env_rng = self.factory.rng("env/delays")
@@ -161,26 +174,29 @@ class FLSystem:
     def send_down(self, flat: np.ndarray, n_receivers: int = 1) -> np.ndarray:
         """Server→client transfer: encode once, charge each receiver, return
         the (possibly lossy) weights the clients actually start from."""
-        payload = self.codec.encode(flat)
-        for _ in range(n_receivers):
-            self.meter.record_download(payload.nbytes)
-        # Remember the wire size so sampled latencies can include transfer
-        # time under a finite-bandwidth model (uplink ≈ downlink size).
-        self._last_payload_nbytes = payload.nbytes
-        return self.codec.decode(payload)
+        with self.timers.phase("encode"):
+            payload = self.codec.encode(flat)
+            for _ in range(n_receivers):
+                self.meter.record_download(payload.nbytes)
+            # Remember the wire size so sampled latencies can include transfer
+            # time under a finite-bandwidth model (uplink ≈ downlink size).
+            self._last_payload_nbytes = payload.nbytes
+            return self.codec.decode(payload)
 
     def send_up(self, flat: np.ndarray) -> np.ndarray:
         """Client→server transfer: returns what the server decodes."""
-        payload = self.codec.encode(flat)
-        self.meter.record_upload(payload.nbytes)
-        return self.codec.decode(payload)
+        with self.timers.phase("encode"):
+            payload = self.codec.encode(flat)
+            self.meter.record_upload(payload.nbytes)
+            return self.codec.decode(payload)
 
     def send_up_cohort(self, flats: list[np.ndarray]) -> list[np.ndarray]:
         """Batched client→server transfers for one cohort's responses."""
-        decoded, payloads = roundtrip_batch(self.codec, flats)
-        for p in payloads:
-            self.meter.record_upload(p.nbytes)
-        return decoded
+        with self.timers.phase("encode"):
+            decoded, payloads = roundtrip_batch(self.codec, flats)
+            for p in payloads:
+                self.meter.record_upload(p.nbytes)
+            return decoded
 
     def uplink_roundtrip(self, results: list[LocalTrainingResult]) -> list[int]:
         """Codec-roundtrip each result's weights **in place**, returning wire
@@ -190,12 +206,13 @@ class FLSystem:
         charge uplink bytes at each result's virtual finish time (when its
         completion event pops), not at training time.
         """
-        decoded, payloads = roundtrip_batch(
-            self.codec, [r.weights for r in results]
-        )
-        for res, weights in zip(results, decoded):
-            res.weights = weights
-        return [p.nbytes for p in payloads]
+        with self.timers.phase("encode"):
+            decoded, payloads = roundtrip_batch(
+                self.codec, [r.weights for r in results]
+            )
+            for res, weights in zip(results, decoded):
+                res.weights = weights
+            return [p.nbytes for p in payloads]
 
     def alive(self, client_ids, at_time: float | None = None) -> list[int]:
         """Clients participating (not dropped, not churned away) at a time."""
@@ -284,7 +301,8 @@ class FLSystem:
         """
         if not tasks:
             return []
-        return self.executor.run_cohort(start_weights, tasks)
+        with self.timers.phase("train"):
+            return self.executor.run_cohort(start_weights, tasks)
 
     def train_client(
         self,
@@ -418,7 +436,8 @@ class FLSystem:
     # ------------------------------------------------------------------ #
     def record_eval(self) -> EvalRecord:
         """Evaluate the current global model and append to the history."""
-        stats = self.evaluator.evaluate_flat(self.global_weights)
+        with self.timers.phase("eval"):
+            stats = self.evaluator.evaluate_flat(self.global_weights)
         rec = EvalRecord(
             time=self.now,
             round=self.round,
@@ -442,11 +461,17 @@ class FLSystem:
 
     # ------------------------------------------------------------------ #
     def run(self) -> RunHistory:
-        """Execute the full experiment, releasing the executor afterwards."""
+        """Execute the full experiment, releasing the executor afterwards.
+
+        Publishes the per-phase wall-clock totals to
+        ``history.meta["phase_seconds"]`` — diagnostics for attributing perf
+        wins, never inputs to the simulation.
+        """
         try:
             return self._run()
         finally:
             self.executor.close()
+            self.history.meta["phase_seconds"] = self.timers.snapshot()
 
     def _run(self) -> RunHistory:
         raise NotImplementedError
@@ -536,7 +561,8 @@ class SyncFLSystem(FLSystem):
                 res.weights = weights
             self.now = round_end
             if results:
-                self.aggregate(results)
+                with self.timers.phase("aggregate"):
+                    self.aggregate(results)
             self.round += 1
             self.on_round_end()
             if self._eval_due():

@@ -41,6 +41,10 @@ class FLConfig:
     max_rounds: int = 200
     max_time: float | None = None
     eval_every: int = 5
+    # Evaluation forward passes run in chunks of this many samples, so peak
+    # memory is bounded regardless of the federation test-set size. Chunking
+    # is bit-identical at any value (row-wise ops + a full-vector mean).
+    eval_batch_size: int = 256
 
     # --- environment ------------------------------------------------------#
     # Dynamic-world scenario: a preset name with optional argument, e.g.
@@ -60,6 +64,11 @@ class FLConfig:
     # of model replicas (bit-identical histories, see repro.exec).
     executor: str = "serial"
     num_workers: int = 0  # parallel pool size; 0 => CPU count
+    # Model-parameter dtype. "float64" (default) keeps every code path
+    # bit-identical to the reference histories; "float32" halves parameter
+    # memory bandwidth on every matmul at the cost of exact reproducibility
+    # against float64 runs (float32 runs are still deterministic).
+    dtype: str = "float64"
 
     # --- communication ----------------------------------------------------#
     compression: str | None = "polyline:4"  # FedAT default; None => float32
@@ -108,6 +117,10 @@ class FLConfig:
             raise ValueError("max_rounds must be >= 1")
         if self.eval_every < 1:
             raise ValueError("eval_every must be >= 1")
+        if self.eval_batch_size < 1:
+            raise ValueError("eval_batch_size must be >= 1")
+        if self.dtype not in ("float64", "float32"):
+            raise ValueError(f"unknown dtype {self.dtype!r}; options: float64, float32")
         if self.optimizer not in ("adam", "sgd"):
             raise ValueError(f"unknown optimizer {self.optimizer!r}")
         if self.executor not in ("serial", "parallel"):

@@ -140,13 +140,14 @@ class FedAT(FLSystem):
             if done.results:
                 for res, nbytes in done.results:
                     self.meter.record_upload(nbytes)
-                tier_model = sample_weighted_average(
-                    [r.weights for r, _ in done.results],
-                    [r.n_samples for r, _ in done.results],
-                )
-                self.global_weights = self.server.submit_tier_update(
-                    done.tier, tier_model
-                )
+                with self.timers.phase("aggregate"):
+                    tier_model = sample_weighted_average(
+                        [r.weights for r, _ in done.results],
+                        [r.n_samples for r, _ in done.results],
+                    )
+                    self.global_weights = self.server.submit_tier_update(
+                        done.tier, tier_model
+                    )
                 self.round += 1
                 if self.retier_due():
                     self._retier(queue)

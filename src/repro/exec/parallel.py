@@ -3,8 +3,18 @@
 Each pool worker holds one structural clone of the worker model
 (:meth:`Sequential.clone`) plus latency-model-free client replicas
 (:meth:`SimClient.replica`). A cohort is split into contiguous chunks — one
-per busy worker — so the broadcast start-weight vector is pickled once per
-chunk rather than once per client, and results come back in task order.
+per busy worker — and results come back in task order.
+
+Broadcast path: the round's start-weight vector is written **once** into a
+POSIX shared-memory segment and workers attach read-only, so dispatching a
+cohort ships only the segment name per chunk instead of re-pickling the
+full float vector into every pool message. The segment is allocated lazily
+at the model's flat size, reused round after round (``pool.map`` is
+synchronous, so rounds never race on it), and unlinked at :meth:`close`.
+When shared memory is unavailable — platform without ``/dev/shm``, creation
+failure, or ``shared_broadcast=False`` — dispatch falls back to the
+original pickle-per-chunk path; both paths hand workers the same bytes, so
+results are bit-identical either way.
 
 Bit-identical guarantee: tasks carry explicit batch-schedule cursors and
 pre-sampled latencies, local training consumes no RNG, and every float op
@@ -42,12 +52,42 @@ def _init_worker(model: Sequential, clients: dict, loss: Loss, optimizer: Optimi
     # exact task->local_train mapping of the serial backend, so the two
     # paths cannot drift apart.
     _WORKER["executor"] = SerialExecutor(model, clients, loss, optimizer)
+    _WORKER["shm"] = {}
 
 
-def _train_chunk(
-    payload: tuple[np.ndarray, list[CohortTask]]
-) -> list[LocalTrainingResult]:
-    start_weights, tasks = payload
+def _attach_shared(name: str, dtype: str, size: int) -> np.ndarray:
+    """Map the broadcast segment read-only, caching the attachment.
+
+    The parent owns the segment's lifetime; the worker must neither unlink
+    it nor let its resource tracker claim it (attaching registers with the
+    tracker on CPython <= 3.12, which would spew spurious leak warnings at
+    worker exit), hence the unregister immediately after attach.
+    """
+    cache = _WORKER.setdefault("shm", {})
+    shm = cache.get(name)
+    if shm is None:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker API is CPython detail
+            pass
+        cache[name] = shm
+    arr = np.ndarray((size,), dtype=np.dtype(dtype), buffer=shm.buf)
+    arr.flags.writeable = False
+    return arr
+
+
+def _train_chunk(payload: tuple) -> list[LocalTrainingResult]:
+    header, tasks = payload
+    if header[0] == "shm":
+        _, name, dtype, size = header
+        start_weights = _attach_shared(name, dtype, size)
+    else:
+        start_weights = header[1]
     return _WORKER["executor"].run_cohort(start_weights, tasks)
 
 
@@ -64,6 +104,9 @@ class ParallelExecutor(ClientExecutor):
 
     The pool is created lazily on the first cohort and torn down by
     :meth:`close` (systems close their executor when ``run()`` returns).
+    ``shared_broadcast`` selects the shared-memory start-weight path; it
+    degrades automatically to pickled dispatch when the platform cannot
+    provide shared memory (``shm_fallback_reason`` records why).
     """
 
     name = "parallel"
@@ -77,11 +120,15 @@ class ParallelExecutor(ClientExecutor):
         *,
         num_workers: int = 0,
         start_method: str | None = None,
+        shared_broadcast: bool = True,
     ):
         self.num_workers = _resolve_workers(num_workers)
         self._pool = None
         self._fallback: SerialExecutor | None = None
         self.fallback_reason: str | None = None
+        self.shared_broadcast = shared_broadcast
+        self.shm_fallback_reason: str | None = None
+        self._shm = None
         # Cohorts below this size skip the pool and run in-process (the
         # async baselines' steady-state singletons pay a full IPC round-trip
         # for zero parallelism otherwise). Bit-identical either way by the
@@ -128,6 +175,46 @@ class ParallelExecutor(ClientExecutor):
             )
         return self._pool
 
+    def _broadcast_header(self, start_weights: np.ndarray) -> tuple:
+        """Publish the round's start weights; return the per-chunk header.
+
+        Shared-memory path: one ``copyto`` into the (lazily created,
+        reused) segment, header carries only ``(name, dtype, size)``.
+        Fallback: the weights themselves travel in the header and get
+        pickled once per chunk, exactly as before.
+        """
+        if self.shared_broadcast and self._shm is None and self.shm_fallback_reason is None:
+            try:
+                from multiprocessing import shared_memory
+
+                self._shm = shared_memory.SharedMemory(
+                    create=True, size=start_weights.nbytes
+                )
+            except Exception as exc:  # no /dev/shm, permissions, quota ...
+                self.shm_fallback_reason = (
+                    f"shared-memory broadcast unavailable ({exc!r}); "
+                    "falling back to pickled start-weight dispatch"
+                )
+        if self._shm is not None:
+            if self._shm.size < start_weights.nbytes:  # pragma: no cover - fixed model size
+                self._release_shm()
+                return self._broadcast_header(start_weights)
+            view = np.ndarray(
+                (start_weights.size,), dtype=start_weights.dtype, buffer=self._shm.buf
+            )
+            np.copyto(view, start_weights)
+            return ("shm", self._shm.name, start_weights.dtype.str, start_weights.size)
+        return ("pickle", start_weights)
+
+    def _release_shm(self) -> None:
+        if self._shm is not None:
+            try:
+                self._shm.close()
+                self._shm.unlink()
+            except Exception:  # pragma: no cover - best-effort cleanup
+                pass
+            self._shm = None
+
     @staticmethod
     def _chunk(tasks: Sequence[CohortTask], n: int) -> list[list[CohortTask]]:
         """Contiguous near-even split preserving task order."""
@@ -145,8 +232,10 @@ class ParallelExecutor(ClientExecutor):
         if len(tasks) < self.min_dispatch:
             return self._local.run_cohort(start_weights, tasks)
         pool = self._ensure_pool()
+        start_weights = np.ascontiguousarray(start_weights)
+        header = self._broadcast_header(start_weights)
         chunks = self._chunk(tasks, self.num_workers)
-        results = pool.map(_train_chunk, [(start_weights, c) for c in chunks])
+        results = pool.map(_train_chunk, [(header, c) for c in chunks])
         return [res for chunk in results for res in chunk]
 
     def close(self) -> None:
@@ -154,6 +243,7 @@ class ParallelExecutor(ClientExecutor):
             self._pool.terminate()
             self._pool.join()
             self._pool = None
+        self._release_shm()
 
     def __del__(self):  # pragma: no cover - GC safety net
         try:

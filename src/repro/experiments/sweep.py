@@ -193,6 +193,9 @@ class SweepRunner:
             **self._cell_fl_overrides(cell),
         )
         history.meta["scenario"] = cell.scenario
+        # Checkpoints must be byte-identical across resumed executions;
+        # wall-clock phase timers are volatile diagnostics, so strip them.
+        history.meta.pop("phase_seconds", None)
         self._atomic_write(
             self._cell_path(cell),
             {

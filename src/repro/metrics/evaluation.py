@@ -2,9 +2,25 @@
 
 The paper reports (a) test accuracy of the global model over all clients'
 held-out data and (b) the *variance of per-client test accuracies* —
-Definition 3.1's balance criterion. Both come from a single batched forward
-pass here: client shards are concatenated once at construction and split by
-cached boundaries afterwards.
+Definition 3.1's balance criterion. Client shards are concatenated once at
+construction and split by cached boundaries afterwards.
+
+Two operational properties matter here:
+
+- **Isolation.** The evaluator owns a structural replica of the model it
+  was given (when one can be replicated faithfully), so mid-run evaluation
+  never clobbers in-flight worker weights — with the flat parameter store
+  the worker's weights are one shared buffer, and writing evaluation
+  weights into it from another code path would be a genuine hazard. Models
+  with cross-call layer state (batch-norm running statistics, dropout RNG
+  streams) cannot be replicated without changing their evaluation-time
+  behavior, so those keep sharing the caller's instance exactly as before.
+- **Bounded memory.** The forward pass runs in ``eval_batch_size`` chunks
+  and per-sample losses are accumulated, so peak memory no longer scales
+  with the full concatenated federation test set. Chunking is bit-identical
+  at *any* chunk size: softmax/argmax are row-wise, and the loss is the
+  mean of the same full per-sample vector regardless of how the rows were
+  produced.
 """
 
 from __future__ import annotations
@@ -12,7 +28,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.data.federated import FederatedDataset
-from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.activations import softmax
+from repro.nn.losses import LOG_EPS
 from repro.nn.model import Sequential
 
 __all__ = ["Evaluator"]
@@ -27,8 +44,14 @@ class Evaluator:
         model: Sequential,
         *,
         max_test_per_client: int | None = None,
+        eval_batch_size: int = 256,
     ):
-        self._model = model
+        if eval_batch_size < 1:
+            raise ValueError("eval_batch_size must be >= 1")
+        # Own replica when replication is faithful; share otherwise (see
+        # module docstring).
+        self._model = model.clone() if model.replica_safe else model
+        self._batch_size = eval_batch_size
         if not dataset.clients:
             raise ValueError(
                 "cannot evaluate an empty federation (zero clients); "
@@ -45,7 +68,6 @@ class Evaluator:
         self._x = np.concatenate(xs, axis=0)
         self._y = np.concatenate(ys, axis=0)
         self._bounds = np.array(bounds)
-        self._loss = SoftmaxCrossEntropy()
 
     @property
     def num_samples(self) -> int:
@@ -54,10 +76,20 @@ class Evaluator:
     def evaluate_flat(self, flat_weights: np.ndarray) -> dict[str, float]:
         """Accuracy, loss, and per-client accuracy variance for ``flat_weights``."""
         self._model.set_flat_weights(flat_weights)
-        logits = self._model.predict(self._x)
-        pred = np.argmax(logits, axis=-1)
-        correct = (pred == self._y).astype(np.float64)
-        loss = self._loss.forward(logits, self._y)
+        n = self.num_samples
+        correct = np.empty(n, dtype=np.float64)
+        sample_losses = np.empty(n, dtype=np.float64)
+        labels = np.asarray(self._y).reshape(-1)
+        for start in range(0, n, self._batch_size):
+            stop = min(start + self._batch_size, n)
+            logits = self._model.forward(self._x[start:stop], training=False)
+            chunk_labels = labels[start:stop]
+            pred = np.argmax(logits, axis=-1)
+            correct[start:stop] = (pred == chunk_labels).astype(np.float64)
+            probs = softmax(logits)
+            sample_losses[start:stop] = -np.log(
+                probs[np.arange(stop - start), chunk_labels] + LOG_EPS
+            )
         per_client = [
             correct[a:b].mean()
             for a, b in zip(self._bounds[:-1], self._bounds[1:])
@@ -65,6 +97,6 @@ class Evaluator:
         ]
         return {
             "accuracy": float(correct.mean()),
-            "loss": float(loss),
+            "loss": float(sample_losses.mean()),
             "accuracy_variance": float(np.var(per_client)),
         }

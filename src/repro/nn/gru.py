@@ -55,11 +55,12 @@ class GRU(Layer):
         n_batch, t, d = x.shape
         h = self.hidden_dim
         self._x = x
-        hs = np.zeros((t + 1, n_batch, h))
-        zs = np.zeros((t, n_batch, h))
-        rs = np.zeros((t, n_batch, h))
-        ns = np.zeros((t, n_batch, h))
-        hns = np.zeros((t, n_batch, h))  # h_{t-1} @ Wh_n (pre reset gating)
+        # Scratch in the input dtype (see LSTM): keeps float32 stores f32.
+        hs = np.zeros((t + 1, n_batch, h), dtype=x.dtype)
+        zs = np.zeros((t, n_batch, h), dtype=x.dtype)
+        rs = np.zeros((t, n_batch, h), dtype=x.dtype)
+        ns = np.zeros((t, n_batch, h), dtype=x.dtype)
+        hns = np.zeros((t, n_batch, h), dtype=x.dtype)  # h_{t-1} @ Wh_n (pre reset gating)
         xproj = (x.reshape(n_batch * t, d) @ self.wx.data + self.b.data).reshape(
             n_batch, t, 3 * h
         ).transpose(1, 0, 2)
@@ -90,14 +91,14 @@ class GRU(Layer):
         if self.return_sequences:
             dh_seq = grad.transpose(1, 0, 2)
         else:
-            dh_seq = np.zeros((t, n_batch, h))
+            dh_seq = np.zeros((t, n_batch, h), dtype=x.dtype)
             dh_seq[-1] = grad
 
         dwx = np.zeros_like(self.wx.data)
         dwh = np.zeros_like(self.wh.data)
         db = np.zeros_like(self.b.data)
         dx = np.zeros_like(x)
-        dh_next = np.zeros((n_batch, h))
+        dh_next = np.zeros((n_batch, h), dtype=x.dtype)
         for step in range(t - 1, -1, -1):
             dh = dh_seq[step] + dh_next
             z, r, n, hn = zs[step], rs[step], ns[step], hns[step]

@@ -117,7 +117,11 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        # Mask in the input dtype so reduced-precision stores stay put
+        # (a no-op cast at the float64 default).
+        self._mask = ((self._rng.random(x.shape) < keep) / keep).astype(
+            x.dtype, copy=False
+        )
         return x * self._mask
 
     def backward(self, grad: np.ndarray) -> np.ndarray:

@@ -6,7 +6,12 @@ import numpy as np
 
 from repro.nn.activations import softmax
 
-__all__ = ["Loss", "SoftmaxCrossEntropy", "MSELoss"]
+__all__ = ["Loss", "SoftmaxCrossEntropy", "MSELoss", "LOG_EPS"]
+
+#: Clamp added inside log() to avoid -inf on zero probabilities. The chunked
+#: evaluator (repro.metrics.evaluation) reproduces the fused loss per sample
+#: and must use the same constant to stay bit-identical.
+LOG_EPS = 1e-12
 
 
 class Loss:
@@ -36,8 +41,7 @@ class SoftmaxCrossEntropy(Loss):
         probs = softmax(logits)
         self._probs = probs
         self._labels = labels
-        eps = 1e-12
-        return float(-np.log(probs[np.arange(n), labels] + eps).mean())
+        return float(-np.log(probs[np.arange(n), labels] + LOG_EPS).mean())
 
     def backward(self) -> np.ndarray:
         n = self._probs.shape[0]

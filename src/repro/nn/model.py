@@ -5,6 +5,16 @@ simulator — exchanges models as **flat 1-D float vectors**. ``Sequential``
 owns the mapping between that vector and the per-layer parameter arrays via
 :class:`WeightSpec`, which records shapes and offsets (the "marshalling"
 metadata the paper transmits alongside compressed weights, §4.3).
+
+By default every model adopts its parameters into a
+:class:`~repro.nn.store.FlatParameterStore`: one contiguous buffer per
+model, parameters as views. ``get_flat_weights`` then costs one memcpy,
+``set_flat_weights`` one vectorized ``copyto``, and optimizer steps run as
+whole-buffer operations — all bit-identical to the per-parameter legacy
+path at float64 (``tests/nn/test_store.py`` proves it on full training
+histories). ``use_flat_store=False`` (or flipping
+:data:`DEFAULT_FLAT_STORE`) keeps the legacy standalone-array layout, which
+the perf benchmarks use as their comparison baseline.
 """
 
 from __future__ import annotations
@@ -17,9 +27,15 @@ import numpy as np
 from repro.nn.layers import Layer
 from repro.nn.losses import Loss
 from repro.nn.optimizers import Optimizer
+from repro.nn.store import FlatParameterStore
 from repro.nn.tensor import Parameter
 
-__all__ = ["Sequential", "WeightSpec"]
+__all__ = ["Sequential", "WeightSpec", "DEFAULT_FLAT_STORE"]
+
+#: Module-wide default for whether new models adopt a flat parameter store.
+#: The old-vs-new-path regression tests and the parameter-engine benchmark
+#: flip this to rebuild the legacy layout without forking the model code.
+DEFAULT_FLAT_STORE = True
 
 
 @dataclass(frozen=True)
@@ -75,11 +91,70 @@ class WeightSpec:
 class Sequential:
     """A linear stack of layers with train/eval entry points."""
 
-    def __init__(self, layers: list[Layer], name: str = "model"):
+    def __init__(
+        self,
+        layers: list[Layer],
+        name: str = "model",
+        *,
+        use_flat_store: bool | None = None,
+        dtype=np.float64,
+    ):
         if not layers:
             raise ValueError("Sequential requires at least one layer")
         self.layers = list(layers)
         self.name = name
+        self._use_store = DEFAULT_FLAT_STORE if use_flat_store is None else use_flat_store
+        self._dtype = np.dtype(dtype)
+        self._store: FlatParameterStore | None = None
+        if self._use_store:
+            self._attach_store()
+
+    def _attach_store(self) -> None:
+        """(Re)bind every parameter into one fresh contiguous store."""
+        self._store = FlatParameterStore(self.params, dtype=self._dtype)
+
+    @property
+    def store(self) -> FlatParameterStore | None:
+        """The flat parameter store, or None in legacy layout."""
+        return self._store
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._dtype
+
+    def astype(self, dtype) -> "Sequential":
+        """Re-materialize the parameter buffers in ``dtype`` (in place).
+
+        ``float32`` halves the memory bandwidth of every matmul over the
+        weights; histories are only bit-identical across code paths at the
+        ``float64`` default. Returns ``self`` for chaining.
+        """
+        dtype = np.dtype(dtype)
+        if dtype == self._dtype:
+            return self
+        self._dtype = dtype
+        if self._use_store:
+            self._attach_store()  # casts current values into the new buffer
+        else:
+            for p in self.params:
+                p.data = p.data.astype(dtype)
+                p.grad = p.grad.astype(dtype)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Pickle / deepcopy: parameters detach from the store when serialized
+    # (views cannot survive either), so the restored model re-attaches a
+    # fresh store over the restored values.
+    # ------------------------------------------------------------------ #
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_store"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        if self._use_store:
+            self._attach_store()
 
     # ------------------------------------------------------------------ #
     # Parameter access
@@ -108,7 +183,7 @@ class Sequential:
         if len(weights) != len(params):
             raise ValueError(f"expected {len(params)} arrays, got {len(weights)}")
         for p, w in zip(params, weights):
-            w = np.asarray(w, dtype=np.float64)
+            w = np.asarray(w, dtype=self._dtype)
             if w.shape != p.data.shape:
                 raise ValueError(
                     f"shape mismatch for {p.name}: {w.shape} != {p.data.shape}"
@@ -116,16 +191,49 @@ class Sequential:
             np.copyto(p.data, w)
 
     def get_flat_weights(self) -> np.ndarray:
-        """All parameters marshalled into one 1-D vector."""
+        """All parameters marshalled into one 1-D vector (an owned copy)."""
+        if self._store is not None:
+            return self._store.data.copy()  # one memcpy of the flat buffer
         return self.weight_spec.join([p.data for p in self.params])
 
+    def flat_weights_view(self) -> np.ndarray:
+        """Read-only zero-copy view of the flat weights (store layout only).
+
+        Callers that only *read* the weights — evaluation, norm checks —
+        can skip the defensive copy :meth:`get_flat_weights` makes. Falls
+        back to a materialized copy in legacy layout.
+        """
+        if self._store is None:
+            return self.get_flat_weights()
+        view = self._store.data[:]
+        view.flags.writeable = False
+        return view
+
     def set_flat_weights(self, flat: np.ndarray) -> None:
+        if self._store is not None:
+            flat = np.asarray(flat)
+            if flat.ndim != 1 or flat.size != self._store.total:
+                raise ValueError(
+                    f"flat vector has size {flat.size}, model expects {self._store.total}"
+                )
+            np.copyto(self._store.data, flat, casting="same_kind")
+            return
         self.set_weights(self.weight_spec.split(flat))
 
     # ------------------------------------------------------------------ #
     # Forward / backward
     # ------------------------------------------------------------------ #
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        # In a reduced-precision store the activations must enter at the
+        # store dtype, or NumPy promotes every matmul back to float64 and
+        # the bandwidth win evaporates. Integer inputs (token ids) pass
+        # through untouched. At the float64 default this is a no-op.
+        if (
+            self._dtype != np.float64
+            and np.issubdtype(np.asarray(x).dtype, np.floating)
+            and x.dtype != self._dtype
+        ):
+            x = x.astype(self._dtype)
         for layer in self.layers:
             x = layer.forward(x, training=training)
         return x
@@ -136,6 +244,9 @@ class Sequential:
         return grad
 
     def zero_grad(self) -> None:
+        if self._store is not None:
+            self._store.zero_grad()  # one fill over the whole grad buffer
+            return
         for p in self.params:
             p.zero_grad()
 
@@ -162,7 +273,7 @@ class Sequential:
         self.backward(loss.backward())
         if grad_hook is not None:
             grad_hook(self.params)
-        optimizer.step(self.params)
+        optimizer.step(self.params, store=self._store)
         return value
 
     def predict(self, x: np.ndarray, *, batch_size: int = 256) -> np.ndarray:

@@ -3,33 +3,59 @@
 The paper uses Adam as the local solver (§6 Hyperparameters); SGD (with
 optional momentum) is provided for the convergence-theory checks, which
 assume plain gradient steps.
+
+When the parameters are backed by a :class:`~repro.nn.store.FlatParameterStore`
+(the default model layout), :meth:`Optimizer.step` applies the update as
+whole-buffer operations on the store's flat data/grad arrays instead of a
+per-parameter Python loop. Every update rule here is elementwise, so the
+two forms are bit-identical — the flat form just replaces O(#params) small
+NumPy calls per step with O(1) large ones.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.nn.tensor import Parameter
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
+    from repro.nn.store import FlatParameterStore
+
 __all__ = ["Optimizer", "SGD", "Adam"]
 
 
 class Optimizer:
-    """Base optimizer. Subclasses implement :meth:`_update` per parameter."""
+    """Base optimizer. Subclasses implement :meth:`_update` per parameter
+    and :meth:`_update_flat` per store."""
 
     def __init__(self, lr: float):
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
         self.lr = lr
 
-    def step(self, params: list[Parameter]) -> None:
+    def step(
+        self, params: list[Parameter], store: "FlatParameterStore | None" = None
+    ) -> None:
         """Apply one update using each parameter's accumulated gradient, then
-        clear the gradients."""
+        clear the gradients.
+
+        With a ``store`` covering exactly ``params``, the update runs as one
+        whole-buffer operation; otherwise parameter by parameter.
+        """
+        if store is not None and store.covers(params):
+            self._update_flat(store)
+            store.zero_grad()
+            return
         for i, p in enumerate(params):
             self._update(i, p)
             p.zero_grad()
 
     def _update(self, index: int, p: Parameter) -> None:
+        raise NotImplementedError
+
+    def _update_flat(self, store: "FlatParameterStore") -> None:
         raise NotImplementedError
 
     def reset_state(self) -> None:
@@ -46,6 +72,7 @@ class SGD(Optimizer):
             raise ValueError(f"momentum must be in [0, 1), got {momentum}")
         self.momentum = momentum
         self._velocity: dict[int, np.ndarray] = {}
+        self._flat_velocity: np.ndarray | None = None
 
     def _update(self, index: int, p: Parameter) -> None:
         if self.momentum == 0.0:
@@ -59,8 +86,21 @@ class SGD(Optimizer):
         self._velocity[index] = v
         p.data += v
 
+    def _update_flat(self, store: "FlatParameterStore") -> None:
+        if self.momentum == 0.0:
+            store.data -= self.lr * store.grad
+            return
+        v = self._flat_velocity
+        if v is None:
+            v = np.zeros_like(store.data)
+            self._flat_velocity = v
+        v *= self.momentum
+        v -= self.lr * store.grad
+        store.data += v
+
     def reset_state(self) -> None:
         self._velocity.clear()
+        self._flat_velocity = None
 
 
 class Adam(Optimizer):
@@ -80,11 +120,15 @@ class Adam(Optimizer):
         self.beta1, self.beta2, self.eps = beta1, beta2, eps
         self._m: dict[int, np.ndarray] = {}
         self._v: dict[int, np.ndarray] = {}
+        self._flat_m: np.ndarray | None = None
+        self._flat_v: np.ndarray | None = None
         self._t = 0
 
-    def step(self, params: list[Parameter]) -> None:
+    def step(
+        self, params: list[Parameter], store: "FlatParameterStore | None" = None
+    ) -> None:
         self._t += 1
-        super().step(params)
+        super().step(params, store=store)
 
     def _update(self, index: int, p: Parameter) -> None:
         m = self._m.get(index)
@@ -95,16 +139,28 @@ class Adam(Optimizer):
         if v is None:
             v = np.zeros_like(p.data)
             self._v[index] = v
-        g = p.grad
+        self._adam_step(p.data, p.grad, m, v)
+
+    def _update_flat(self, store: "FlatParameterStore") -> None:
+        if self._flat_m is None:
+            self._flat_m = np.zeros_like(store.data)
+            self._flat_v = np.zeros_like(store.data)
+        self._adam_step(store.data, store.grad, self._flat_m, self._flat_v)
+
+    def _adam_step(
+        self, data: np.ndarray, g: np.ndarray, m: np.ndarray, v: np.ndarray
+    ) -> None:
         m *= self.beta1
         m += (1 - self.beta1) * g
         v *= self.beta2
         v += (1 - self.beta2) * g * g
         mhat = m / (1 - self.beta1**self._t)
         vhat = v / (1 - self.beta2**self._t)
-        p.data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
+        data -= self.lr * mhat / (np.sqrt(vhat) + self.eps)
 
     def reset_state(self) -> None:
         self._m.clear()
         self._v.clear()
+        self._flat_m = None
+        self._flat_v = None
         self._t = 0

@@ -11,23 +11,32 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.store import FlatParameterStore
 from repro.nn.tensor import Parameter
 
 __all__ = ["ProximalTerm"]
 
 
 class ProximalTerm:
-    """Callable gradient hook adding ``λ (w − w_ref)`` to each parameter grad."""
+    """Callable gradient hook adding ``λ (w − w_ref)`` to each parameter grad.
+
+    When the parameters are store-backed the hook applies as one
+    whole-buffer operation against a flattened reference (built lazily, in
+    parameter order, so it matches the store layout) — bit-identical to the
+    per-parameter loop since the update is elementwise.
+    """
 
     def __init__(self, lam: float):
         if lam < 0:
             raise ValueError(f"lambda must be non-negative, got {lam}")
         self.lam = lam
         self._ref: list[np.ndarray] | None = None
+        self._ref_flat: np.ndarray | None = None
 
     def set_reference(self, weights: list[np.ndarray]) -> None:
         """Snapshot the global model the local updates are constrained to."""
         self._ref = [np.array(w, copy=True) for w in weights]
+        self._ref_flat = None
 
     def penalty(self, params: list[Parameter]) -> float:
         """Value of ``λ/2 ‖w − w_ref‖²`` (for loss reporting/tests)."""
@@ -44,5 +53,13 @@ class ProximalTerm:
             return
         if len(params) != len(self._ref):
             raise ValueError("reference weights do not match parameter list")
+        store = FlatParameterStore.of(params)
+        if store is not None:
+            if self._ref_flat is None or self._ref_flat.size != store.total:
+                self._ref_flat = np.concatenate(
+                    [np.asarray(r, dtype=store.dtype).reshape(-1) for r in self._ref]
+                )
+            store.grad += self.lam * (store.data - self._ref_flat)
+            return
         for p, r in zip(params, self._ref):
             p.grad += self.lam * (p.data - r)

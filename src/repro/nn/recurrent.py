@@ -90,9 +90,11 @@ class LSTM(Layer):
         n, t, d = x.shape
         h = self.hidden_dim
         self._x = x
-        hs = np.zeros((t + 1, n, h))
-        cs = np.zeros((t + 1, n, h))
-        gates = np.zeros((t, n, 4 * h))
+        # Scratch in the input dtype so a float32 parameter store is not
+        # silently promoted back to float64 mid-sequence.
+        hs = np.zeros((t + 1, n, h), dtype=x.dtype)
+        cs = np.zeros((t + 1, n, h), dtype=x.dtype)
+        gates = np.zeros((t, n, 4 * h), dtype=x.dtype)
         # Precompute the input projection for all steps in one GEMM.
         xproj = x.reshape(n * t, d) @ self.wx.data  # (N*T, 4H)
         xproj = xproj.reshape(n, t, 4 * h).transpose(1, 0, 2)  # (T, N, 4H)
@@ -117,12 +119,12 @@ class LSTM(Layer):
         if self.return_sequences:
             dh_seq = grad.transpose(1, 0, 2)  # (T, N, H)
         else:
-            dh_seq = np.zeros((t, n, h))
+            dh_seq = np.zeros((t, n, h), dtype=x.dtype)
             dh_seq[-1] = grad
         dx = np.zeros_like(x)
-        dh_next = np.zeros((n, h))
-        dc_next = np.zeros((n, h))
-        dz_all = np.zeros((t, n, 4 * h))
+        dh_next = np.zeros((n, h), dtype=x.dtype)
+        dc_next = np.zeros((n, h), dtype=x.dtype)
+        dz_all = np.zeros((t, n, 4 * h), dtype=x.dtype)
         for step in range(t - 1, -1, -1):
             dh = dh_seq[step] + dh_next
             i = gates[step][:, :h]

@@ -1,0 +1,39 @@
+"""Per-phase wall-clock accounting for FL runs.
+
+Perf PRs need to know *where* a win landed — local training, codec
+round-trips, server aggregation, or evaluation — so :class:`PhaseTimers`
+accumulates wall-clock seconds per named phase and the systems publish the
+totals under ``RunHistory.meta["phase_seconds"]``.
+
+Wall-clock is volatile by nature: the totals are diagnostics, never inputs
+to the simulation, and components that require byte-identical artifacts
+across executions (the sweep checkpoints) strip them before persisting.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["PhaseTimers"]
+
+
+class PhaseTimers:
+    """Accumulates wall-clock seconds per named phase."""
+
+    def __init__(self):
+        self.seconds: dict[str, float] = {}
+
+    @contextmanager
+    def phase(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.seconds[name] = self.seconds.get(name, 0.0) + (
+                time.perf_counter() - t0
+            )
+
+    def snapshot(self) -> dict[str, float]:
+        """Rounded copy of the totals, stable key order."""
+        return {k: round(v, 6) for k, v in sorted(self.seconds.items())}

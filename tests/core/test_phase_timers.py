@@ -1,0 +1,54 @@
+"""Per-phase wall-clock timers: accumulation, publication, volatility."""
+
+import time
+
+from repro.baselines.fedavg import FedAvg
+from repro.core.config import FLConfig
+from repro.experiments.config import build_model_builder
+from repro.utils.timing import PhaseTimers
+
+
+class TestPhaseTimers:
+    def test_accumulates_across_entries(self):
+        t = PhaseTimers()
+        with t.phase("train"):
+            time.sleep(0.01)
+        with t.phase("train"):
+            pass
+        with t.phase("eval"):
+            pass
+        snap = t.snapshot()
+        assert set(snap) == {"train", "eval"}
+        assert snap["train"] >= 0.01
+
+    def test_snapshot_is_sorted_and_rounded(self):
+        t = PhaseTimers()
+        with t.phase("b"):
+            pass
+        with t.phase("a"):
+            pass
+        assert list(t.snapshot()) == ["a", "b"]
+
+    def test_records_even_when_body_raises(self):
+        t = PhaseTimers()
+        try:
+            with t.phase("train"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert "train" in t.seconds
+
+
+def test_run_publishes_phase_seconds(tiny_bow_dataset):
+    config = FLConfig(
+        clients_per_round=4, local_epochs=1, max_rounds=3, eval_every=1,
+        num_unstable=2, seed=0, compression=None,
+    )
+    system = FedAvg(
+        tiny_bow_dataset, build_model_builder(tiny_bow_dataset, "tiny"), config
+    )
+    history = system.run()
+    phases = history.meta["phase_seconds"]
+    # Every phase of a sync run fires at least once and costs >= 0 seconds.
+    assert {"train", "encode", "aggregate", "eval"} <= set(phases)
+    assert all(v >= 0.0 for v in phases.values())

@@ -1,0 +1,60 @@
+"""Chunked evaluation: bounded memory with bit-identical statistics, and
+the evaluator's model isolation."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import build_model_builder
+from repro.metrics.evaluation import Evaluator
+
+
+@pytest.mark.parametrize("batch", [1, 7, 64, 10_000])
+def test_chunk_size_never_changes_results(tiny_image_dataset, batch):
+    """Softmax/argmax are row-wise and the loss is a mean over the same
+    full per-sample vector, so *any* chunk size is bit-identical."""
+    model = build_model_builder(tiny_image_dataset, "tiny")(np.random.default_rng(0))
+    flat = model.get_flat_weights()
+    reference = Evaluator(tiny_image_dataset, model).evaluate_flat(flat)
+    chunked = Evaluator(
+        tiny_image_dataset, model, eval_batch_size=batch
+    ).evaluate_flat(flat)
+    assert chunked == reference
+
+
+def test_evaluator_owns_a_replica(tiny_bow_dataset):
+    """Evaluating must not write into the caller's (shared) flat buffer."""
+    model = build_model_builder(tiny_bow_dataset, "tiny")(np.random.default_rng(0))
+    before = model.get_flat_weights()
+    ev = Evaluator(tiny_bow_dataset, model)
+    assert ev._model is not model
+    ev.evaluate_flat(np.zeros_like(before))
+    np.testing.assert_array_equal(model.get_flat_weights(), before)
+
+
+def test_evaluator_shares_model_with_crosscall_state(tiny_bow_dataset):
+    """Batch-norm running statistics make replicas evaluate differently, so
+    those models keep the legacy shared-instance behavior."""
+    from repro.nn.zoo import build_lstm_classifier
+
+    model = build_lstm_classifier(
+        vocab_size=20, num_classes=2, rng=np.random.default_rng(0)
+    )
+    assert not model.replica_safe
+
+    class _TokenClient:
+        def __init__(self, c):
+            rng = np.random.default_rng(c.client_id)
+            self.x_test = rng.integers(0, 20, size=(4, 5))
+            self.y_test = rng.integers(0, 2, size=4)
+
+    class _TokenDataset:
+        clients = [_TokenClient(c) for c in tiny_bow_dataset.clients[:3]]
+
+    ev = Evaluator(_TokenDataset(), model)
+    assert ev._model is model
+
+
+def test_rejects_bad_batch_size(tiny_bow_dataset):
+    model = build_model_builder(tiny_bow_dataset, "tiny")(np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        Evaluator(tiny_bow_dataset, model, eval_batch_size=0)

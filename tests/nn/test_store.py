@@ -1,0 +1,214 @@
+"""Zero-copy flat-parameter store: aliasing, replication, and the
+old-path/new-path bit-identity contract.
+
+The store rebinds every ``Parameter.data``/``.grad`` to views of one
+contiguous buffer, so three invariants carry the whole refactor:
+
+1. aliasing — mutating a parameter mutates the flat buffer and vice versa;
+2. replica independence — ``clone()`` (and the pickle path pool workers
+   use) produces models whose buffers share nothing with the original;
+3. history bit-identity — a full FL run through the store layout produces
+   byte-for-byte the same ``RunHistory`` as the legacy standalone-array
+   layout at the float64 default.
+"""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+import repro.nn.model as model_mod
+from repro.core.config import FLConfig
+from repro.core.fedat import FedAT
+from repro.baselines.fedavg import FedAvg
+from repro.experiments.config import build_model_builder
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optimizers import SGD, Adam
+from repro.nn.proximal import ProximalTerm
+from repro.nn.store import FlatParameterStore
+from repro.nn.zoo import build_mlp
+
+
+def _mlp(seed=0, **kwargs):
+    return build_mlp(6, 3, rng=np.random.default_rng(seed), **kwargs)
+
+
+class TestAliasing:
+    def test_parameter_data_is_view_of_flat_buffer(self):
+        m = _mlp()
+        store = m.store
+        assert store is not None
+        for p, (a, b) in zip(m.params, store.offsets):
+            assert p.data.base is store.data
+            assert p.grad.base is store.grad
+            np.testing.assert_array_equal(p.data.reshape(-1), store.data[a:b])
+
+    def test_mutating_parameter_mutates_buffer(self):
+        m = _mlp()
+        p = m.params[0]
+        p.data[...] = 7.5
+        a, b = m.store.offsets[0]
+        assert (m.store.data[a:b] == 7.5).all()
+        p.grad[...] = -1.25
+        assert (m.store.grad[a:b] == -1.25).all()
+
+    def test_mutating_buffer_mutates_parameter(self):
+        m = _mlp()
+        m.store.data[:] = 3.0
+        for p in m.params:
+            assert (p.data == 3.0).all()
+        m.store.grad[:] = 0.5
+        for p in m.params:
+            assert (p.grad == 0.5).all()
+
+    def test_flat_weights_are_one_memcpy_of_the_buffer(self):
+        m = _mlp()
+        flat = m.get_flat_weights()
+        np.testing.assert_array_equal(flat, m.store.data)
+        assert flat is not m.store.data and flat.base is None  # owned copy
+
+    def test_set_flat_weights_is_visible_through_views(self):
+        m = _mlp()
+        new = np.arange(m.num_params, dtype=np.float64)
+        m.set_flat_weights(new)
+        np.testing.assert_array_equal(m.params[0].data.reshape(-1),
+                                      new[: m.params[0].size])
+
+    def test_flat_weights_view_is_readonly_and_zero_copy(self):
+        m = _mlp()
+        view = m.flat_weights_view()
+        assert view.base is m.store.data
+        with pytest.raises(ValueError):
+            view[0] = 1.0
+
+    def test_set_flat_weights_validates_size(self):
+        m = _mlp()
+        with pytest.raises(ValueError):
+            m.set_flat_weights(np.zeros(m.num_params + 1))
+
+
+class TestReplication:
+    def test_clone_buffers_are_independent(self):
+        m = _mlp()
+        replica = m.clone()
+        assert replica.store is not None
+        assert replica.store.data is not m.store.data
+        replica.store.data[:] = 42.0
+        assert not (m.store.data == 42.0).any()
+        np.testing.assert_array_equal(
+            m.get_flat_weights(), _mlp().get_flat_weights()
+        )
+
+    def test_clone_reattaches_views(self):
+        replica = _mlp().clone()
+        for p in replica.params:
+            assert p.data.base is replica.store.data
+            assert p.store is replica.store
+
+    def test_pickle_roundtrip_reattaches_and_isolates(self):
+        """The pool-worker path: a pickled replica must come back with a
+        working store that shares nothing with the original."""
+        m = _mlp()
+        replica = pickle.loads(pickle.dumps(m))
+        assert replica.store is not None
+        np.testing.assert_array_equal(
+            replica.get_flat_weights(), m.get_flat_weights()
+        )
+        for p in replica.params:
+            assert p.data.base is replica.store.data
+        replica.store.data[:] = -9.0
+        assert not (m.store.data == -9.0).any()
+
+    def test_clone_with_weights_installs_them(self):
+        m = _mlp()
+        w = np.linspace(-1, 1, m.num_params)
+        replica = m.clone(w)
+        np.testing.assert_array_equal(replica.get_flat_weights(), w)
+
+
+class TestLegacyMode:
+    def test_flag_disables_store(self, monkeypatch):
+        monkeypatch.setattr(model_mod, "DEFAULT_FLAT_STORE", False)
+        m = _mlp()
+        assert m.store is None
+        for p in m.params:
+            assert p.store is None and p.data.base is None
+
+    def test_legacy_and_store_flat_weights_match(self, monkeypatch):
+        new = _mlp().get_flat_weights()
+        monkeypatch.setattr(model_mod, "DEFAULT_FLAT_STORE", False)
+        old = _mlp().get_flat_weights()
+        np.testing.assert_array_equal(new, old)
+
+
+class TestFlatOptimizerSteps:
+    """Whole-buffer optimizer/proximal ops equal the per-parameter loop."""
+
+    @pytest.mark.parametrize(
+        "make_opt",
+        [lambda: Adam(0.01), lambda: SGD(0.05), lambda: SGD(0.05, momentum=0.9)],
+        ids=["adam", "sgd", "sgd-momentum"],
+    )
+    def test_step_bitwise_equal(self, make_opt, monkeypatch):
+        def train(use_store):
+            monkeypatch.setattr(model_mod, "DEFAULT_FLAT_STORE", use_store)
+            m = _mlp(seed=3)
+            loss, opt = SoftmaxCrossEntropy(), make_opt()
+            rng = np.random.default_rng(11)
+            x = rng.normal(size=(20, 6))
+            y = rng.integers(0, 3, size=20)
+            prox = ProximalTerm(0.4)
+            prox.set_reference([p.data for p in m.params])
+            for _ in range(5):
+                m.train_on_batch(x, y, loss, opt, grad_hook=prox)
+            return m.get_flat_weights()
+
+        np.testing.assert_array_equal(train(True), train(False))
+
+    def test_partial_param_list_falls_back(self):
+        """A subset of a store's parameters must not trigger the flat path."""
+        m = _mlp()
+        assert FlatParameterStore.of(m.params[:1]) is None
+        assert FlatParameterStore.of(m.params) is m.store
+
+    def test_astype_float32_roundtrip(self):
+        m = _mlp()
+        ref = m.get_flat_weights()
+        m.astype(np.float32)
+        assert m.store.data.dtype == np.float32
+        assert m.params[0].data.dtype == np.float32
+        np.testing.assert_allclose(m.get_flat_weights(), ref, atol=1e-6)
+        out = m.forward(np.zeros((2, 6), dtype=np.float64))
+        assert out.dtype == np.float32  # activations cast at the door
+
+
+_BUDGETS = {FedAT: 10, FedAvg: 4}
+
+
+def _history(dataset, cls, use_store, monkeypatch):
+    monkeypatch.setattr(model_mod, "DEFAULT_FLAT_STORE", use_store)
+    config = FLConfig(
+        clients_per_round=4,
+        local_epochs=2,
+        max_rounds=_BUDGETS[cls],
+        eval_every=2,
+        num_tiers=3,
+        num_unstable=2,
+        seed=0,
+        compression="polyline:4" if cls is FedAT else None,
+    )
+    return cls(dataset, build_model_builder(dataset, "tiny"), config).run()
+
+
+@pytest.mark.parametrize("cls", [FedAT, FedAvg], ids=["fedat", "fedavg"])
+def test_store_history_bit_identical_to_legacy_path(
+    tiny_bow_dataset, cls, monkeypatch
+):
+    """The whole refactor, end to end: flat-store runs must reproduce the
+    legacy per-parameter layout byte for byte at the float64 default."""
+    new = _history(tiny_bow_dataset, cls, True, monkeypatch)
+    old = _history(tiny_bow_dataset, cls, False, monkeypatch)
+    assert len(new.records) == len(old.records)
+    for a, b in zip(new.records, old.records):
+        assert dataclasses.asdict(a) == dataclasses.asdict(b)
