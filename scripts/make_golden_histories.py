@@ -1,0 +1,112 @@
+"""Regenerate the golden-history regression fixtures.
+
+Usage::
+
+    python scripts/make_golden_histories.py
+
+Writes one JSON fixture per canonical config to ``tests/fixtures/golden/``.
+Each fixture embeds the exact run kwargs plus the resulting evaluation
+records and the deterministic meta keys;
+``tests/integration/test_golden_histories.py`` re-runs the embedded config
+and asserts bit-identical results. Regenerate ONLY when a change is
+*supposed* to alter numerics (and say so in the commit message) — the whole
+point of the suite is that engine refactors cannot silently change
+results.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.experiments.runner import run_experiment  # noqa: E402
+from repro.utils.serialization import to_jsonable  # noqa: E402
+
+OUT_DIR = REPO / "tests" / "fixtures" / "golden"
+
+#: Meta keys that are deterministic functions of the run (unlike the
+#: wall-clock ``phase_seconds``) and therefore part of the golden contract.
+GOLDEN_META_KEYS = (
+    "network",
+    "tier_update_counts",
+    "tier_sizes",
+    "retier_trace",
+    "arrival_trace",
+)
+
+#: The canonical configs: small enough to re-run in seconds, broad enough
+#: to cover the sync loop, the tiered-async loop, TiFL's credit policy,
+#: and a dynamic scenario with online re-tiering.
+CONFIGS: dict[str, dict] = {
+    "fedavg_static": {
+        "method": "fedavg",
+        "dataset": "sentiment140",
+        "scale": "tiny",
+        "seed": 7,
+        "fl_overrides": {"max_rounds": 5, "eval_every": 1},
+    },
+    "fedat_static": {
+        "method": "fedat",
+        "dataset": "sentiment140",
+        "scale": "tiny",
+        "seed": 7,
+        "fl_overrides": {"max_rounds": 10, "eval_every": 2},
+    },
+    "tifl_static": {
+        "method": "tifl",
+        "dataset": "sentiment140",
+        "scale": "tiny",
+        "seed": 7,
+        "fl_overrides": {"max_rounds": 6, "eval_every": 2},
+    },
+    "fedat_churn_retier": {
+        "method": "fedat",
+        "dataset": "sentiment140",
+        "scale": "tiny",
+        "seed": 7,
+        "fl_overrides": {
+            "max_rounds": 10,
+            "eval_every": 2,
+            "scenario": "churn:0.4",
+            "retier_interval": 4,
+        },
+    },
+}
+
+
+def run_config(config: dict):
+    kwargs = dict(config)
+    overrides = kwargs.pop("fl_overrides", {})
+    return run_experiment(
+        kwargs.pop("method"), kwargs.pop("dataset"), **kwargs, **overrides
+    )
+
+
+def main() -> int:
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    for name, config in CONFIGS.items():
+        history = run_config(config)
+        payload = {
+            "name": name,
+            "run": config,
+            "records": to_jsonable(history.to_dict()["records"]),
+            "meta": to_jsonable(
+                {
+                    k: history.meta[k]
+                    for k in GOLDEN_META_KEYS
+                    if k in history.meta
+                }
+            ),
+        }
+        path = OUT_DIR / f"{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {path} ({len(history.records)} records)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

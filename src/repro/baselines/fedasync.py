@@ -91,6 +91,8 @@ class FedAsync(FLSystem):
         queue = EventQueue()
         self.record_eval()
         self._launch_cohort(self.alive(range(self.dataset.num_clients), 0.0), queue)
+        # Late arrivals enter the same continuous-training loop on arrival.
+        self.schedule_arrival_launches(queue)
         while not queue.empty and not self.budget_exhausted():
             ev = queue.pop()
             self.now = ev.time

@@ -7,6 +7,8 @@
     python -m repro compare --dataset sentiment140 --methods fedat,fedavg
     python -m repro sweep --methods fedat,tifl --scenarios static,churn,drift \
         --seeds 2 --smoke
+    python -m repro sweep --config examples/sweep_paper.json
+    python -m repro figures --from-checkpoint sweeps/<key> --out-dir figures
     python -m repro codecs --size 20000
     python -m repro list
 
@@ -14,8 +16,10 @@
 saving the full series as JSON). ``compare`` runs several methods on the
 identical federation and prints a side-by-side table. ``sweep`` executes a
 resumable (method × scenario × seed) grid with per-cell JSON checkpoints
-and prints an aggregate comparison table. ``codecs`` reports compression
-ratios on synthetic weights.
+and prints an aggregate comparison table (``--config`` loads the grid from
+a committed JSON sweep config). ``figures`` renders method×scenario SVG
+comparison figures from a sweep's checkpoints. ``codecs`` reports
+compression ratios on synthetic weights.
 """
 
 from __future__ import annotations
@@ -91,6 +95,12 @@ def build_parser() -> argparse.ArgumentParser:
         "sweep",
         help="resumable (method x scenario x seed) grid with checkpoints",
     )
+    sweep_p.add_argument("--config", default=None,
+                         help="JSON sweep config (see examples/sweep_*.json); "
+                         "replaces the grid flags (--methods/--scenarios/"
+                         "--seeds/--dataset/--scale/--classes-per-client/"
+                         "--retier-interval/--executor/--num-workers/--smoke); "
+                         "--out-dir and --max-runs still apply")
     sweep_p.add_argument("--methods", default="fedat,tifl,fedavg",
                          help="comma-separated method names")
     sweep_p.add_argument("--scenarios", default="static,churn,drift",
@@ -114,6 +124,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="parallel pool size (0 = CPU count)")
     sweep_p.add_argument("--max-runs", type=int, default=None,
                          help="stop after N new cells (sweep stays resumable)")
+
+    fig_p = sub.add_parser(
+        "figures",
+        help="emit method x scenario figures from sweep checkpoints",
+    )
+    fig_p.add_argument("--from-checkpoint", required=True, dest="from_checkpoint",
+                       help="sweep checkpoint directory (or a JSON file in it)")
+    fig_p.add_argument("--out-dir", default="figures",
+                       help="where the SVG/JSON figures land (default: figures/)")
 
     codec_p = sub.add_parser("codecs", help="compression ratios on synthetic weights")
     codec_p.add_argument("--size", type=int, default=20_000)
@@ -222,24 +241,31 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import SweepRunner, SweepSpec
 
-    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
-    scenarios = tuple(s.strip() for s in args.scenarios.split(",") if s.strip())
     try:
-        spec = SweepSpec(
-            methods=methods,
-            scenarios=scenarios,
-            seeds=_parse_seeds(args.seeds),
-            dataset=args.dataset,
-            scale=args.scale,
-            classes_per_client=(
-                "default" if args.classes_per_client is None else args.classes_per_client
-            ),
-            retier_interval=args.retier_interval,
-            executor=args.executor,
-            num_workers=args.num_workers,
-            smoke=args.smoke,
-        )
-    except ValueError as exc:
+        if args.config is not None:
+            spec = SweepSpec.from_file(args.config)
+        else:
+            spec = SweepSpec(
+                methods=tuple(
+                    m.strip() for m in args.methods.split(",") if m.strip()
+                ),
+                scenarios=tuple(
+                    s.strip() for s in args.scenarios.split(",") if s.strip()
+                ),
+                seeds=_parse_seeds(args.seeds),
+                dataset=args.dataset,
+                scale=args.scale,
+                classes_per_client=(
+                    "default"
+                    if args.classes_per_client is None
+                    else args.classes_per_client
+                ),
+                retier_interval=args.retier_interval,
+                executor=args.executor,
+                num_workers=args.num_workers,
+                smoke=args.smoke,
+            )
+    except (ValueError, OSError, TypeError) as exc:
         print(f"bad sweep spec: {exc}", file=sys.stderr)
         return 2
     out_dir = args.out_dir or f"sweeps/{spec.key()}"
@@ -251,6 +277,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if not summary["complete"]:
         print("sweep interrupted — rerun the same command to resume")
         return 3
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments.figures import write_scenario_figures
+
+    try:
+        written = write_scenario_figures(args.from_checkpoint, args.out_dir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"cannot build figures: {exc}", file=sys.stderr)
+        return 2
+    for path in written:
+        print(f"wrote {path}")
     return 0
 
 
@@ -304,6 +343,7 @@ def main(argv: list[str] | None = None) -> int:
         "run": _cmd_run,
         "compare": _cmd_compare,
         "sweep": _cmd_sweep,
+        "figures": _cmd_figures,
         "codecs": _cmd_codecs,
         "list": _cmd_list,
     }

@@ -117,7 +117,12 @@ class QuantizationCodec(Codec):
     def encode(self, flat: np.ndarray) -> Payload:
         arr = np.asarray(flat, dtype=np.float64)
         if arr.size == 0:
-            return Payload((np.empty(0, dtype=np.uint16), 0.0, 0.0), 0, f"{self.name}:{self.bits}b", 0)
+            return Payload(
+                (np.empty(0, dtype=np.uint16), 0.0, 0.0),
+                0,
+                f"{self.name}:{self.bits}b",
+                0,
+            )
         lo, hi = float(arr.min()), float(arr.max())
         span = hi - lo if hi > lo else 1.0
         levels = (1 << self.bits) - 1
@@ -152,7 +157,12 @@ class TopKCodec(Codec):
         arr = np.asarray(flat, dtype=np.float64)
         k = min(arr.size, max(1, int(round(arr.size * self.fraction))))
         if k == 0:  # empty vector: nothing to ship
-            return Payload((np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32), 0), 0, self.name, 0)
+            return Payload(
+                (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32), 0),
+                0,
+                self.name,
+                0,
+            )
         idx = np.argpartition(np.abs(arr), arr.size - k)[-k:]
         vals = arr[idx].astype(np.float32)
         nbytes = k * (4 + 4)  # int32 index + float32 value
@@ -187,7 +197,12 @@ class SubsampleCodec(Codec):
         arr = np.asarray(flat, dtype=np.float64)
         k = min(arr.size, max(1, int(round(arr.size * self.fraction))))
         if k == 0:  # empty vector: nothing to ship
-            return Payload((np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32), 0), 0, self.name, 0)
+            return Payload(
+                (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float32), 0),
+                0,
+                self.name,
+                0,
+            )
         idx = np.sort(self._rng.choice(arr.size, size=k, replace=False))
         vals = arr[idx].astype(np.float32)
         # Wire: float32 values + 8-byte mask seed (indices are regenerated

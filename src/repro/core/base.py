@@ -28,7 +28,12 @@ from repro.nn.model import Sequential
 from repro.scenario import ScenarioEngine, parse_scenario
 from repro.sim.client import LocalTrainingResult, SimClient
 from repro.sim.failures import UnstableClientPolicy
-from repro.sim.latency import ComputeModel, ResponseLatencyModel, TierDelayModel
+from repro.sim.latency import (
+    DEFAULT_FINITE_BANDWIDTH,
+    ComputeModel,
+    ResponseLatencyModel,
+    TierDelayModel,
+)
 from repro.sim.network import NetworkMeter
 from repro.utils.rng import SeedSequenceFactory
 from repro.utils.timing import PhaseTimers
@@ -98,10 +103,30 @@ class FLSystem:
         if delay_model.num_clients != dataset.num_clients:
             raise ValueError("delay model does not cover the client population")
         self.delay_model = delay_model
+
+        # Dynamic-world scenario: churn windows, speed drift, bursts, late
+        # arrivals, and bandwidth drift compiled once from an env-named RNG
+        # stream (identical across methods for a given seed). A static
+        # scenario has no events and every hook below short-circuits,
+        # keeping histories bit-identical to the scenario-free simulator.
+        horizon = config.max_time if config.max_time is not None else config.dropout_horizon
+        self.scenario = ScenarioEngine.compile(
+            parse_scenario(config.scenario),
+            dataset.num_clients,
+            horizon,
+            self.factory.rng("env/scenario"),
+        )
+        # Bandwidth drift scales the finite-bandwidth transfer term; if the
+        # run did not configure a finite link, give it the default one so
+        # the scenario genuinely changes transfer times (other scenarios
+        # leave the configured value — usually None — untouched).
+        bandwidth = config.bandwidth_bytes_per_s
+        if bandwidth is None and self.scenario.has_bandwidth_events:
+            bandwidth = DEFAULT_FINITE_BANDWIDTH
         latency_model = ResponseLatencyModel(
             delays=delay_model,
             compute=ComputeModel(config.compute_per_sample, config.compute_base),
-            bandwidth_bytes_per_s=config.bandwidth_bytes_per_s,
+            bandwidth_bytes_per_s=bandwidth,
         )
         self.latency_model = latency_model
         self.clients = [
@@ -115,21 +140,11 @@ class FLSystem:
             horizon=config.dropout_horizon,
         )
         self.meter = NetworkMeter()
-
-        # Dynamic-world scenario: churn windows, speed drift, and burst
-        # stragglers compiled once from an env-named RNG stream (identical
-        # across methods for a given seed). A static scenario has no events
-        # and every hook below short-circuits, keeping histories
-        # bit-identical to the scenario-free simulator.
-        horizon = config.max_time if config.max_time is not None else config.dropout_horizon
-        self.scenario = ScenarioEngine.compile(
-            parse_scenario(config.scenario),
-            dataset.num_clients,
-            horizon,
-            self.factory.rng("env/scenario"),
-        )
         #: Set by tiered methods when online re-tiering is enabled.
         self.retier_tracker = None
+        #: Under arrival scenarios the tiered methods restrict tiering to
+        #: the clients that have arrived; None means the whole population.
+        self._enrolled: list[int] | None = None
 
         codec = make_codec(config.compression) if self.uses_compression else NullCodec()
         self.codec: Codec = codec
@@ -244,9 +259,22 @@ class FLSystem:
         epochs = self.config.local_epochs if epochs is None else epochs
         # Round trip moves the model down and back up; both transfers count
         # against a finite-bandwidth link (no-op when bandwidth is None).
+        # The transfer term is computed exactly once — metered and added to
+        # the sampled compute+delay latency — at launch, for every
+        # attempted round: clients that later churn/drop mid-round still
+        # occupied the link (see NetworkMeter).
         payload = 2 * getattr(self, "_last_payload_nbytes", 0)
-        latency = self.clients[client_id].sample_latency(
-            epochs, self._latency_rng, payload_bytes=payload
+        bw_scale = 1.0
+        if not self.scenario.is_static:
+            bw_scale = self.scenario.bandwidth_scale(client_id, self.now)
+        transfer = self.latency_model.transfer_seconds(
+            payload, bandwidth_scale=bw_scale
+        )
+        if transfer > 0.0:
+            self.meter.record_transfer(transfer)
+        latency = (
+            self.clients[client_id].sample_latency(epochs, self._latency_rng)
+            + transfer
         )
         if not self.scenario.is_static:
             latency *= self.scenario.latency_multiplier(client_id, self.now)
@@ -358,6 +386,17 @@ class FLSystem:
             ):
                 queue.schedule_at(wake, RelaunchClient(cid))
 
+    def schedule_arrival_launches(self, queue) -> None:
+        """Schedule a :class:`RelaunchClient` at each late client's arrival.
+
+        The async methods launch every client that exists at t=0 and then
+        keep each one cycling; under an arrival scenario the rest of the
+        population enters the same loop the moment it arrives.
+        """
+        for cid, t in self.scenario.late_arrivals():
+            if self.config.max_time is None or t < self.config.max_time:
+                queue.schedule_at(t, RelaunchClient(cid))
+
     def build_tiering(self):
         """Profile clients and split them into ``num_tiers`` latency tiers.
 
@@ -414,11 +453,13 @@ class FLSystem:
         evaluators, round restarts) stays with the caller.
         """
         old = self.tiering
-        new = self.retier_tracker.retier(old.num_tiers)
+        new = self.retier_tracker.retier(old.num_tiers, client_ids=self._enrolled)
+        # Clients in only one of the two tierings (arrivals since the last
+        # split) are additions, not moves.
         moved = sum(
             1
             for c in range(self.dataset.num_clients)
-            if old.tier_of(c) != new.tier_of(c)
+            if c in old and c in new and old.tier_of(c) != new.tier_of(c)
         )
         self.tiering = new
         self.history.meta.setdefault("retier_trace", []).append(
@@ -472,6 +513,9 @@ class FLSystem:
         finally:
             self.executor.close()
             self.history.meta["phase_seconds"] = self.timers.snapshot()
+            # Deterministic transfer accounting (bytes, messages, and —
+            # under a finite-bandwidth link — transfer seconds).
+            self.history.meta["network"] = self.meter.snapshot()
 
     def _run(self) -> RunHistory:
         raise NotImplementedError

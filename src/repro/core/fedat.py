@@ -19,6 +19,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from repro.core.aggregation import sample_weighted_average
 from repro.core.base import FLSystem
 from repro.core.server import TieredServer
@@ -46,17 +48,50 @@ class _TierWake:
     tier: int
 
 
+@dataclass
+class _ClientArrival:
+    """Event payload: a late client joins the population at the event time."""
+
+    client_id: int
+
+
 class FedAT(FLSystem):
     """The paper's system: synchronous intra-tier, asynchronous cross-tier."""
 
     name = "fedat"
     uses_compression = True
 
-    def __init__(self, dataset, model_builder, config, *, tiering: Tiering | None = None, delay_model=None):
+    def __init__(
+        self,
+        dataset,
+        model_builder,
+        config,
+        *,
+        tiering: Tiering | None = None,
+        delay_model=None,
+    ):
         super().__init__(dataset, model_builder, config, delay_model=delay_model)
+        #: Held-back data shards of clients that have not arrived yet
+        #: (arrival scenarios only; None means the population is fixed).
+        self.arrival_pool = None
         if tiering is None:
             tiering = self.build_tiering()
-        if tiering.num_clients != dataset.num_clients:
+            late = self.scenario.late_arrivals()
+            if late:
+                # The server can only profile and tier clients that exist:
+                # start from the founding population and grow the tiering
+                # as arrivals land. Late clients' data stays in a held-back
+                # pool until their arrival event releases it.
+                founders = self.scenario.founders()
+                self._enrolled = list(founders)
+                self.arrival_pool = dataset.hold_back([cid for cid, _ in late])
+                tiering = Tiering.from_latencies(
+                    self.profiled_latencies[np.asarray(founders, dtype=np.int64)],
+                    config.num_tiers,
+                    allow_empty=True,
+                    client_ids=founders,
+                )
+        if self.arrival_pool is None and tiering.num_clients != dataset.num_clients:
             raise ValueError("tiering does not cover the client population")
         self.tiering = tiering
         self.server = TieredServer(
@@ -64,6 +99,7 @@ class FedAT(FLSystem):
             tiering.num_tiers,
             weighting=config.server_weighting,
         )
+        self.server.set_active_tiers([size > 0 for size in tiering.sizes()])
         self.global_weights = self.server.global_weights
         self.retier_tracker = self.make_retier_tracker()
         self._active: set[int] = set()
@@ -124,14 +160,57 @@ class FedAT(FLSystem):
             if m not in self._active:
                 self._launch_or_wake(m, queue)
 
+    def _on_arrival(self, client_id: int, queue: EventQueue) -> None:
+        """Enroll one arriving client: assign its held-back data and grow
+        the tiering over the enlarged population.
+
+        The grown split comes from :meth:`Tiering.from_latencies` over the
+        enrolled clients' current latency estimates (EWMA-tracked when
+        online re-tiering is on, else the profiled prior), so an arrival
+        slots into the tier matching its speed and may rebalance others.
+        """
+        self.arrival_pool.release(client_id)
+        self._enrolled.append(client_id)
+        if self.retier_tracker is not None:
+            self.tiering = self.retier_tracker.retier(
+                self.config.num_tiers, client_ids=self._enrolled
+            )
+        else:
+            ids = np.asarray(sorted(self._enrolled), dtype=np.int64)
+            self.tiering = Tiering.from_latencies(
+                self.profiled_latencies[ids],
+                self.config.num_tiers,
+                allow_empty=True,
+                client_ids=ids,
+            )
+        self.server.set_active_tiers([size > 0 for size in self.tiering.sizes()])
+        self.history.meta.setdefault("arrival_trace", []).append(
+            {
+                "time": float(queue.now),
+                "client": int(client_id),
+                "sizes": self.tiering.sizes(),
+            }
+        )
+        # A previously-empty (or idle) tier may now hold clients: start it.
+        for m in range(self.tiering.num_tiers):
+            if m not in self._active:
+                self._launch_or_wake(m, queue)
+
     def _run(self) -> RunHistory:
         queue = EventQueue()
         self.record_eval()
+        if self.arrival_pool is not None:
+            for cid, t in self.scenario.late_arrivals():
+                if self.config.max_time is None or t < self.config.max_time:
+                    queue.schedule_at(t, _ClientArrival(cid))
         for m in range(self.tiering.num_tiers):
             self._launch_or_wake(m, queue)
         while not queue.empty and not self.budget_exhausted():
             ev = queue.pop()
             self.now = ev.time
+            if isinstance(ev.payload, _ClientArrival):
+                self._on_arrival(ev.payload.client_id, queue)
+                continue
             if isinstance(ev.payload, _TierWake):
                 if ev.payload.tier not in self._active:
                     self._launch_or_wake(ev.payload.tier, queue)

@@ -1,12 +1,17 @@
-"""Figure-series generators (Figs 2–10).
+"""Figure-series generators (Figs 2–10) and cross-scenario sweep figures.
 
-Each function returns plain dicts of series (lists of floats) — the exact
-data a plotting script would draw — so benchmarks can assert on shapes and
-EXPERIMENTS.md can record paper-vs-measured values without matplotlib.
+Each paper-figure function returns plain dicts of series (lists of floats)
+— the exact data a plotting script would draw — so benchmarks can assert
+on shapes and EXPERIMENTS.md can record paper-vs-measured values without
+matplotlib. The sweep-figure functions additionally render standalone SVG
+files (no plotting dependency) from sweep checkpoint directories, so the
+nightly workflow can publish method×scenario comparisons as artifacts.
 """
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
 
 from repro.experiments.runner import run_cached
 from repro.metrics.history import RunHistory
@@ -22,6 +27,10 @@ __all__ = [
     "fig8_reddit",
     "fig9_participation",
     "fig10_tier_sizes",
+    "load_sweep_cells",
+    "scenario_matrix",
+    "render_grouped_bars_svg",
+    "write_scenario_figures",
 ]
 
 FIG2_METHODS = ["fedat", "tifl", "fedavg", "fedprox", "fedasync"]
@@ -252,3 +261,281 @@ def fig10_tier_sizes(scale: str = "bench", seed: int = 0) -> dict:
         )
         out["configs"][name] = {"series": _curve(h), "best": h.best_accuracy()}
     return out
+
+
+# --------------------------------------------------------------------------- #
+# Cross-scenario figures from sweep checkpoints
+# --------------------------------------------------------------------------- #
+
+#: Categorical series colors (validated fixed-order palette, light mode) and
+#: text/surface tokens for the standalone SVG figures. Hues are assigned to
+#: methods in fixed slot order, never cycled; with more than eight methods
+#: the extras would have to fold into "other" (the registry holds six).
+_SERIES_COLORS = (
+    "#2a78d6",  # blue
+    "#eb6834",  # orange
+    "#1baf7a",  # aqua
+    "#eda100",  # yellow
+    "#e87ba4",  # magenta
+    "#008300",  # green
+    "#4a3aa7",  # violet
+    "#e34948",  # red
+)
+_SURFACE = "#fcfcfb"
+_TEXT_PRIMARY = "#0b0b0b"
+_TEXT_SECONDARY = "#52514e"
+_GRID = "#e8e7e3"
+
+
+def load_sweep_cells(path: str | Path) -> list[dict]:
+    """Load completed cell checkpoints from a sweep directory.
+
+    ``path`` may be the checkpoint directory itself or any JSON file inside
+    it (``summary.json``, ``spec.json``, or a single cell checkpoint).
+    Returns one dict per completed cell: ``{method, scenario, seed,
+    history}``, in deterministic (method, scenario, seed) order. Partial
+    sweeps are fine — whatever cells exist are used. When the directory
+    carries a ``spec.json``, cells checkpointed under a *different* spec
+    key (leftovers from an earlier grid in a reused out-dir) are skipped,
+    mirroring the sweep runner's own staleness guard.
+    """
+    from repro.experiments.sweep import read_cell_checkpoint
+
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no sweep checkpoints at {path}")
+    directory = path if path.is_dir() else path.parent
+    spec_key = None
+    spec_path = directory / "spec.json"
+    if spec_path.exists():
+        try:
+            spec_key = json.loads(spec_path.read_text()).get("key")
+        except (OSError, json.JSONDecodeError):
+            pass
+    cells = []
+    for cell_path in sorted(directory.glob("*__*__s*.json")):
+        payload = read_cell_checkpoint(cell_path, spec_key)
+        if payload is None:
+            continue  # torn, incomplete, or stale: skip like the runner does
+        cell = payload["cell"]
+        cells.append(
+            {
+                "method": cell["method"],
+                "scenario": cell["scenario"],
+                "seed": int(cell["seed"]),
+                "history": RunHistory.from_dict(payload["history"]),
+            }
+        )
+    if not cells:
+        raise ValueError(f"no completed sweep cells found under {directory}")
+    cells.sort(key=lambda c: (c["method"], c["scenario"], c["seed"]))
+    return cells
+
+
+def _ordered(values: list[str], preference: list[str]) -> list[str]:
+    """Unique ``values`` ordered by ``preference`` first, then sorted."""
+    present = sorted(set(values))
+    ordered = [v for v in preference if v in present]
+    return ordered + [v for v in present if v not in ordered]
+
+
+def scenario_matrix(path: str | Path) -> dict:
+    """Aggregate sweep checkpoints into method×scenario comparison data.
+
+    Metrics are seed-means per (method, scenario): best/final accuracy,
+    total transferred megabytes, and global updates. Method and scenario
+    order follow the sweep's ``spec.json`` when present (the grid the
+    operator asked for), falling back to sorted order.
+    """
+    path = Path(path)
+    directory = path if path.is_dir() else path.parent
+    cells = load_sweep_cells(directory)
+    method_pref: list[str] = []
+    scenario_pref: list[str] = []
+    spec_path = directory / "spec.json"
+    if spec_path.exists():
+        try:
+            spec = json.loads(spec_path.read_text()).get("spec", {})
+            method_pref = list(spec.get("methods", []))
+            scenario_pref = list(spec.get("scenarios", []))
+        except (OSError, json.JSONDecodeError):
+            pass
+    methods = _ordered([c["method"] for c in cells], method_pref)
+    scenarios = _ordered([c["scenario"] for c in cells], scenario_pref)
+
+    groups: dict[tuple[str, str], list[RunHistory]] = {}
+    for c in cells:
+        groups.setdefault((c["method"], c["scenario"]), []).append(c["history"])
+
+    def mean(values: list[float]) -> float:
+        return float(sum(values) / len(values))
+
+    metrics: dict[str, dict[str, dict[str, float]]] = {
+        "best_accuracy": {},
+        "final_accuracy": {},
+        "megabytes": {},
+        "updates": {},
+    }
+    seeds: dict[str, dict[str, int]] = {}
+    for m in methods:
+        for name in metrics:
+            metrics[name].setdefault(m, {})
+        seeds.setdefault(m, {})
+        for s in scenarios:
+            histories = groups.get((m, s))
+            if not histories:
+                continue  # partial sweep: cell not run yet
+            metrics["best_accuracy"][m][s] = mean(
+                [h.best_accuracy() for h in histories]
+            )
+            metrics["final_accuracy"][m][s] = mean(
+                [h.final_accuracy() for h in histories]
+            )
+            metrics["megabytes"][m][s] = mean(
+                [float(h.total_bytes()[-1]) / 1e6 for h in histories]
+            )
+            metrics["updates"][m][s] = mean(
+                [float(h.rounds()[-1]) for h in histories]
+            )
+            seeds[m][s] = len(histories)
+    return {
+        "methods": methods,
+        "scenarios": scenarios,
+        "metrics": metrics,
+        "seeds": seeds,
+        "source": str(directory),
+    }
+
+
+def render_grouped_bars_svg(
+    matrix: dict,
+    metric: str = "best_accuracy",
+    *,
+    title: str | None = None,
+    value_format: str = "{:.3f}",
+) -> str:
+    """Render one method×scenario metric as a standalone grouped-bar SVG.
+
+    Scenario groups sit on the x axis with one thin, baseline-anchored bar
+    per method inside each group (fixed-order series hues, 2px surface gap
+    between adjacent bars, rounded data ends). A legend names the methods;
+    each bar carries a native ``<title>`` tooltip with its exact value, and
+    the exact numbers ship in the JSON emitted next to the figure.
+    """
+    methods = matrix["methods"]
+    scenarios = matrix["scenarios"]
+    values = matrix["metrics"][metric]
+    if len(methods) > len(_SERIES_COLORS):
+        raise ValueError(
+            f"{len(methods)} methods exceed the {len(_SERIES_COLORS)}-slot palette"
+        )
+    peak = max(
+        (values[m][s] for m in methods for s in scenarios if s in values[m]),
+        default=0.0,
+    )
+    peak = peak if peak > 0 else 1.0
+
+    bar_w, bar_gap, group_gap = 16, 2, 28
+    margin_l, margin_r, margin_t, margin_b = 52, 16, 44, 40
+    plot_h = 180
+    group_w = len(methods) * (bar_w + bar_gap) - bar_gap
+    width = margin_l + len(scenarios) * (group_w + group_gap) + margin_r
+    height = margin_t + plot_h + margin_b + 24  # legend row at the bottom
+    baseline = margin_t + plot_h
+    title = title or f"{metric.replace('_', ' ')} by method and scenario"
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="system-ui, sans-serif">',
+        f'<rect width="{width}" height="{height}" fill="{_SURFACE}"/>',
+        f'<text x="{margin_l}" y="20" font-size="13" font-weight="600" '
+        f'fill="{_TEXT_PRIMARY}">{title}</text>',
+    ]
+    # Recessive horizontal grid with axis value labels.
+    for i in range(5):
+        frac = i / 4
+        y = baseline - frac * plot_h
+        parts.append(
+            f'<line x1="{margin_l}" y1="{y:.1f}" x2="{width - margin_r}" '
+            f'y2="{y:.1f}" stroke="{_GRID}" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_l - 6}" y="{y + 3.5:.1f}" font-size="10" '
+            f'text-anchor="end" fill="{_TEXT_SECONDARY}">'
+            f"{value_format.format(frac * peak)}</text>"
+        )
+    # Bars: baseline-anchored with rounded tops only.
+    for si, scenario in enumerate(scenarios):
+        gx = margin_l + si * (group_w + group_gap)
+        for mi, method in enumerate(methods):
+            if scenario not in values[method]:
+                continue
+            v = values[method][scenario]
+            h = plot_h * (v / peak)
+            x = gx + mi * (bar_w + bar_gap)
+            y = baseline - h
+            r = min(3.0, h / 2)
+            path = (
+                f"M {x} {baseline} L {x} {y + r:.2f} "
+                f"Q {x} {y:.2f} {x + r:.2f} {y:.2f} "
+                f"L {x + bar_w - r:.2f} {y:.2f} "
+                f"Q {x + bar_w} {y:.2f} {x + bar_w} {y + r:.2f} "
+                f"L {x + bar_w} {baseline} Z"
+            )
+            label = f"{method} @ {scenario}: {value_format.format(v)}"
+            parts.append(
+                f'<path d="{path}" fill="{_SERIES_COLORS[mi]}">'
+                f"<title>{label}</title></path>"
+            )
+        parts.append(
+            f'<text x="{gx + group_w / 2:.1f}" y="{baseline + 16}" '
+            f'font-size="10" text-anchor="middle" '
+            f'fill="{_TEXT_SECONDARY}">{scenario}</text>'
+        )
+    parts.append(
+        f'<line x1="{margin_l}" y1="{baseline}" x2="{width - margin_r}" '
+        f'y2="{baseline}" stroke="{_TEXT_SECONDARY}" stroke-width="1"/>'
+    )
+    # Legend: one swatch+name per method, text in text tokens.
+    lx = margin_l
+    ly = baseline + 34
+    for mi, method in enumerate(methods):
+        parts.append(
+            f'<rect x="{lx}" y="{ly}" width="10" height="10" rx="2" '
+            f'fill="{_SERIES_COLORS[mi]}"/>'
+        )
+        parts.append(
+            f'<text x="{lx + 14}" y="{ly + 9}" font-size="10" '
+            f'fill="{_TEXT_PRIMARY}">{method}</text>'
+        )
+        lx += 14 + 7 * len(method) + 18
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def write_scenario_figures(path: str | Path, out_dir: str | Path) -> list[Path]:
+    """Emit method×scenario figures (SVG) + data table (JSON) from a sweep.
+
+    ``path`` points at a sweep checkpoint directory (or a JSON file inside
+    one); figures land in ``out_dir``. Returns the written paths.
+    """
+    matrix = scenario_matrix(path)
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+    data_path = out / "method_x_scenario.json"
+    data_path.write_text(json.dumps(matrix, indent=2, sort_keys=True))
+    written.append(data_path)
+    panels = (
+        ("best_accuracy", "best accuracy by method and scenario", "{:.3f}"),
+        ("megabytes", "total transfer (MB) by method and scenario", "{:.1f}"),
+    )
+    for metric, title, fmt in panels:
+        svg = render_grouped_bars_svg(
+            matrix, metric, title=title, value_format=fmt
+        )
+        svg_path = out / f"method_x_scenario_{metric}.svg"
+        svg_path.write_text(svg)
+        written.append(svg_path)
+    return written

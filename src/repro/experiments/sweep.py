@@ -32,7 +32,27 @@ from repro.metrics.report import format_table
 from repro.scenario.spec import parse_scenario
 from repro.utils.serialization import to_jsonable
 
-__all__ = ["SweepCell", "SweepSpec", "SweepRunner"]
+__all__ = ["SweepCell", "SweepSpec", "SweepRunner", "read_cell_checkpoint"]
+
+
+def read_cell_checkpoint(path: Path, spec_key: str | None = None) -> dict | None:
+    """Read one cell checkpoint, or None when torn/incomplete/stale.
+
+    The single source of truth for the checkpoint schema: the sweep
+    runner's resume path and the figures loader both go through here, so a
+    schema or staleness-rule change cannot silently diverge between them.
+    With ``spec_key`` set, cells checkpointed under a different sweep spec
+    are treated as stale.
+    """
+    try:
+        payload = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError):
+        return None  # torn checkpoint: the cell re-runs
+    if not payload.get("completed") or "cell" not in payload:
+        return None
+    if spec_key is not None and payload.get("spec_key") != spec_key:
+        return None  # stale: written by a different grid in this out-dir
+    return payload
 
 #: Methods that maintain a tiering and support online re-tiering.
 TIERED_METHODS = ("fedat", "tifl")
@@ -103,6 +123,33 @@ class SweepSpec:
             for m, s, seed in product(self.methods, self.scenarios, self.seeds)
         ]
 
+    @staticmethod
+    def from_dict(payload: dict) -> "SweepSpec":
+        """Build a spec from a JSON-style dict (committed sweep configs).
+
+        Lists become tuples and ``fl_overrides`` becomes the sorted
+        ``(key, value)`` tuple form, so a config file round-trips into the
+        same hashable spec the CLI flags would have produced.
+        """
+        data = dict(payload)
+        unknown = set(data) - set(SweepSpec.__dataclass_fields__)
+        if unknown:
+            raise ValueError(f"unknown sweep config fields: {sorted(unknown)}")
+        for key in ("methods", "scenarios", "seeds"):
+            if key in data:
+                data[key] = tuple(data[key])
+        overrides = data.get("fl_overrides", ())
+        if isinstance(overrides, dict):
+            data["fl_overrides"] = tuple(sorted(overrides.items()))
+        else:
+            data["fl_overrides"] = tuple(tuple(pair) for pair in overrides)
+        return SweepSpec(**data)
+
+    @staticmethod
+    def from_file(path: str | Path) -> "SweepSpec":
+        """Load a sweep config JSON file (see ``examples/sweep_*.json``)."""
+        return SweepSpec.from_dict(json.loads(Path(path).read_text()))
+
     def key(self) -> str:
         """Stable digest of everything that affects cell results."""
         payload = to_jsonable(asdict(self))
@@ -124,7 +171,15 @@ class SweepRunner:
         self.out_dir.mkdir(parents=True, exist_ok=True)
         self._spec_key = spec.key()
         spec_path = self.out_dir / "spec.json"
-        if not spec_path.exists():
+        # (Re)write whenever the stored key differs: a reused out-dir must
+        # describe the grid currently running, not the one that first
+        # created it — downstream readers (repro figures) use this key to
+        # skip stale cells.
+        try:
+            stored_key = json.loads(spec_path.read_text()).get("key")
+        except (OSError, json.JSONDecodeError):
+            stored_key = None
+        if stored_key != self._spec_key:
             self._atomic_write(
                 spec_path, {"spec": to_jsonable(asdict(spec)), "key": self._spec_key}
             )
@@ -147,13 +202,13 @@ class SweepRunner:
         path = self._cell_path(cell)
         if not path.exists():
             return None
+        payload = read_cell_checkpoint(path, self._spec_key)
+        if payload is None:
+            return None
         try:
-            payload = json.loads(path.read_text())
-            if not payload.get("completed") or payload.get("spec_key") != self._spec_key:
-                return None
             return RunHistory.from_dict(payload["history"])
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-            return None  # torn or stale checkpoint: the cell re-runs
+        except (KeyError, TypeError, ValueError):
+            return None  # malformed history payload: the cell re-runs
 
     def completed_cells(self) -> list[SweepCell]:
         return [c for c in self.spec.cells() if self.load_cell(c) is not None]

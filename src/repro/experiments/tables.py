@@ -40,13 +40,55 @@ TABLE_METHODS = ["tifl", "fedavg", "fedprox", "fedasync", "fedat"]
 
 #: Paper Table 1 accuracies, for side-by-side printing in EXPERIMENTS.md.
 PAPER_TABLE1 = {
-    ("cifar10", 2): {"tifl": 0.527, "fedavg": 0.547, "fedprox": 0.509, "fedasync": 0.480, "fedat": 0.591},
-    ("cifar10", 4): {"tifl": 0.615, "fedavg": 0.628, "fedprox": 0.609, "fedasync": 0.541, "fedat": 0.633},
-    ("cifar10", 6): {"tifl": 0.654, "fedavg": 0.654, "fedprox": 0.624, "fedasync": 0.531, "fedat": 0.673},
-    ("cifar10", 8): {"tifl": 0.655, "fedavg": 0.667, "fedprox": 0.650, "fedasync": 0.561, "fedat": 0.681},
-    ("cifar10", None): {"tifl": 0.685, "fedavg": 0.686, "fedprox": 0.669, "fedasync": 0.567, "fedat": 0.701},
-    ("fashion_mnist", 2): {"tifl": 0.859, "fedavg": 0.842, "fedprox": 0.831, "fedasync": 0.795, "fedat": 0.873},
-    ("sentiment140", 2): {"tifl": 0.739, "fedavg": 0.741, "fedprox": 0.742, "fedasync": 0.740, "fedat": 0.748},
+    ("cifar10", 2): {
+        "tifl": 0.527,
+        "fedavg": 0.547,
+        "fedprox": 0.509,
+        "fedasync": 0.480,
+        "fedat": 0.591,
+    },
+    ("cifar10", 4): {
+        "tifl": 0.615,
+        "fedavg": 0.628,
+        "fedprox": 0.609,
+        "fedasync": 0.541,
+        "fedat": 0.633,
+    },
+    ("cifar10", 6): {
+        "tifl": 0.654,
+        "fedavg": 0.654,
+        "fedprox": 0.624,
+        "fedasync": 0.531,
+        "fedat": 0.673,
+    },
+    ("cifar10", 8): {
+        "tifl": 0.655,
+        "fedavg": 0.667,
+        "fedprox": 0.650,
+        "fedasync": 0.561,
+        "fedat": 0.681,
+    },
+    ("cifar10", None): {
+        "tifl": 0.685,
+        "fedavg": 0.686,
+        "fedprox": 0.669,
+        "fedasync": 0.567,
+        "fedat": 0.701,
+    },
+    ("fashion_mnist", 2): {
+        "tifl": 0.859,
+        "fedavg": 0.842,
+        "fedprox": 0.831,
+        "fedasync": 0.795,
+        "fedat": 0.873,
+    },
+    ("sentiment140", 2): {
+        "tifl": 0.739,
+        "fedavg": 0.741,
+        "fedprox": 0.742,
+        "fedasync": 0.740,
+        "fedat": 0.748,
+    },
 }
 
 
@@ -116,9 +158,27 @@ def format_table1(result: dict) -> str:
 
 #: Table 2 datasets and the paper's reported MB (for side-by-side printing).
 PAPER_TABLE2 = {
-    "cifar10": {"fedavg": 1828.54, "tifl": 2140.71, "fedprox": None, "fedasync": None, "fedat": 1675.82},
-    "fashion_mnist": {"fedavg": 1048.25, "tifl": 1041.98, "fedprox": 2169.95, "fedasync": 9895.53, "fedat": 1041.54},
-    "sentiment140": {"fedavg": 16.71, "tifl": 17.20, "fedprox": 18.42, "fedasync": 82.27, "fedat": 16.41},
+    "cifar10": {
+        "fedavg": 1828.54,
+        "tifl": 2140.71,
+        "fedprox": None,
+        "fedasync": None,
+        "fedat": 1675.82,
+    },
+    "fashion_mnist": {
+        "fedavg": 1048.25,
+        "tifl": 1041.98,
+        "fedprox": 2169.95,
+        "fedasync": 9895.53,
+        "fedat": 1041.54,
+    },
+    "sentiment140": {
+        "fedavg": 16.71,
+        "tifl": 17.20,
+        "fedprox": 18.42,
+        "fedasync": 82.27,
+        "fedat": 16.41,
+    },
 }
 
 

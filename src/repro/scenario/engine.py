@@ -4,10 +4,16 @@ A :class:`ScenarioEngine` turns a :class:`~repro.scenario.spec.ScenarioSpec`
 (or an explicit event list) into per-client timelines that any
 :class:`~repro.core.base.FLSystem` can query as its virtual clock advances:
 
-- ``is_available(cid, t)`` — churn: is the client online at ``t``?
+- ``is_available(cid, t)`` — churn/arrival: is the client online at ``t``?
 - ``available_throughout(cid, start, end)`` — does it stay online for a
   whole local round?
 - ``latency_multiplier(cid, t)`` — speed drift × burst stragglers.
+- ``bandwidth_scale(cid, t)`` — bandwidth drift: the fraction of the
+  client's nominal link bandwidth still available (drives the
+  finite-bandwidth transfer term in :mod:`repro.sim.latency`).
+- ``arrival_time(cid)`` / ``late_arrivals()`` — population growth: a
+  client with a positive arrival time does not exist before it (it is
+  never profiled, tiered, or selectable until it arrives).
 
 Compilation pushes every raw event through the simulator's
 :class:`~repro.sim.events.EventQueue`, so simultaneous events resolve in
@@ -30,7 +36,7 @@ from repro.sim.events import EventQueue
 __all__ = ["ScenarioEvent", "ScenarioEngine"]
 
 #: Event kinds understood by the engine.
-EVENT_KINDS = ("leave", "join", "speed", "burst_on", "burst_off")
+EVENT_KINDS = ("leave", "join", "speed", "burst_on", "burst_off", "arrive", "bandwidth")
 
 
 @dataclass(frozen=True)
@@ -39,7 +45,10 @@ class ScenarioEvent:
 
     ``speed`` sets the client's drift multiplier to ``value`` (absolute);
     ``burst_on``/``burst_off`` push/pop a transient factor of ``value`` on
-    the client's burst stack; ``leave``/``join`` toggle availability.
+    the client's burst stack; ``leave``/``join`` toggle availability;
+    ``arrive`` marks when a late client joins the population (it is absent
+    before this time); ``bandwidth`` sets the client's bandwidth scale to
+    ``value`` (absolute fraction of its nominal link).
     """
 
     time: float
@@ -84,6 +93,9 @@ class ScenarioEngine:
         avail_state: list[list[bool]] = [[] for _ in range(num_clients)]
         mult_times: list[list[float]] = [[] for _ in range(num_clients)]
         mult_values: list[list[float]] = [[] for _ in range(num_clients)]
+        bw_times: list[list[float]] = [[] for _ in range(num_clients)]
+        bw_values: list[list[float]] = [[] for _ in range(num_clients)]
+        arrival = [0.0] * num_clients
         drift = [1.0] * num_clients
         bursts: list[list[float]] = [[] for _ in range(num_clients)]
 
@@ -113,11 +125,19 @@ class ScenarioEngine:
                 if ev.value in bursts[cid]:
                     bursts[cid].remove(ev.value)
                 push_mult(cid, ev.time)
+            elif ev.kind == "arrive":
+                arrival[cid] = ev.time  # queue-ordered: the last event wins
+            elif ev.kind == "bandwidth":
+                bw_times[cid].append(ev.time)
+                bw_values[cid].append(ev.value)
 
         self._avail_times = avail_times
         self._avail_state = avail_state
         self._mult_times = mult_times
         self._mult_values = mult_values
+        self._bw_times = bw_times
+        self._bw_values = bw_values
+        self._arrival = arrival
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -184,6 +204,29 @@ class ScenarioEngine:
                     ScenarioEvent(t0 + dur, "burst_off", cid, spec.burst_factor)
                 )
 
+        # Arrivals: late clients join inside the arrival window. At least
+        # one client always founds the federation at t=0.
+        if spec.arrival_fraction > 0:
+            k = min(
+                int(round(spec.arrival_fraction * num_clients)), num_clients - 1
+            )
+            if k > 0:
+                late = np.sort(rng.choice(num_clients, size=k, replace=False))
+                for cid in late.tolist():
+                    t = float(rng.uniform(*spec.arrival_window)) * horizon
+                    events.append(ScenarioEvent(t, "arrive", cid))
+
+        # Bandwidth drift: stratified step times, compounding link divisors.
+        # The timeline carries absolute scales, so every value stays
+        # strictly positive no matter how many steps compound.
+        if spec.bwdrift_steps > 0:
+            for cid in pick(spec.bwdrift_fraction).tolist():
+                scale = 1.0
+                for step in range(spec.bwdrift_steps):
+                    t = (step + float(rng.uniform(0.0, 1.0))) / spec.bwdrift_steps
+                    scale /= float(rng.uniform(*spec.bwdrift_factor))
+                    events.append(ScenarioEvent(t * horizon, "bandwidth", cid, scale))
+
         return cls(num_clients, events, name=spec.name)
 
     # ------------------------------------------------------------------ #
@@ -194,7 +237,9 @@ class ScenarioEngine:
         return not self.events
 
     def is_available(self, client_id: int, t: float) -> bool:
-        """Whether the client is online at virtual time ``t``."""
+        """Whether the client is online (and has arrived) at time ``t``."""
+        if t < self._arrival[client_id]:
+            return False
         times = self._avail_times[client_id]
         if not times:
             return True
@@ -211,6 +256,33 @@ class ScenarioEngine:
         hi = bisect_right(times, end)
         return all(state[i] for i in range(lo, hi))
 
+    def arrival_time(self, client_id: int) -> float:
+        """When the client joins the population (0.0 = founding member)."""
+        return self._arrival[client_id]
+
+    def late_arrivals(self) -> list[tuple[int, float]]:
+        """Clients that are absent at t=0, as ``(client_id, arrival_time)``
+        pairs sorted by arrival time (ties by client id)."""
+        late = [(cid, t) for cid, t in enumerate(self._arrival) if t > 0.0]
+        return sorted(late, key=lambda pair: (pair[1], pair[0]))
+
+    def founders(self) -> list[int]:
+        """Clients present at t=0 — the population a server can profile."""
+        return [cid for cid, t in enumerate(self._arrival) if t == 0.0]
+
+    def bandwidth_scale(self, client_id: int, t: float) -> float:
+        """Fraction of the client's nominal link bandwidth left at ``t``."""
+        times = self._bw_times[client_id]
+        if not times:
+            return 1.0
+        i = bisect_right(times, t) - 1
+        return self._bw_values[client_id][i] if i >= 0 else 1.0
+
+    @property
+    def has_bandwidth_events(self) -> bool:
+        """Whether any client's link bandwidth changes over the run."""
+        return any(self._bw_times)
+
     def latency_multiplier(self, client_id: int, t: float) -> float:
         """Combined drift × burst slowdown factor at time ``t``."""
         times = self._mult_times[client_id]
@@ -223,16 +295,30 @@ class ScenarioEngine:
         """Earliest time > ``t`` at which any listed client comes online.
 
         Lets an event loop schedule a wake-up for a tier whose whole pool is
-        currently churned away instead of retiring it forever.
+        currently churned away (or not yet arrived) instead of retiring it
+        forever. Candidate times are churn rejoins and late arrivals; each
+        counts only if the client is genuinely available at that instant.
         """
         best: float | None = None
+
+        def consider(cid: int, when: float) -> bool:
+            """Fold a candidate in; True when it was a genuine join."""
+            nonlocal best
+            if when <= t or not self.is_available(cid, when):
+                return False
+            if best is None or when < best:
+                best = when
+            return True
+
         for cid in client_ids:
+            consider(cid, self._arrival[cid])
             times = self._avail_times[cid]
             state = self._avail_state[cid]
             for i in range(bisect_right(times, t), len(times)):
-                if state[i]:
-                    if best is None or times[i] < best:
-                        best = times[i]
+                # Stop at the first *genuine* join (later ones can't beat
+                # it); a rejoin scheduled before the client's arrival is
+                # not one, so keep scanning past those.
+                if state[i] and consider(cid, times[i]):
                     break
         return best
 

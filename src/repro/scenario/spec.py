@@ -47,8 +47,30 @@ class ScenarioSpec:
     burst_factor: float = 4.0  # latency multiplier while the burst lasts
     burst_duration: tuple[float, float] = (0.05, 0.15)  # burst length
 
+    # --- arrival: the population grows over simulated time -------------- #
+    # Late-arriving clients are absent at t=0 (not profiled, not tiered,
+    # their data held back) and join at a time drawn from the window. At
+    # least one client always founds the federation.
+    arrival_fraction: float = 0.0  # fraction of clients that arrive late
+    arrival_window: tuple[float, float] = (0.05, 0.7)  # arrival-time bounds
+
+    # --- bandwidth drift: client links degrade over time ----------------- #
+    # Unlike speed drift this is not a blanket latency multiplier: the
+    # per-client bandwidth *scale* divides the finite-bandwidth link in
+    # repro.sim.latency, so only the transfer-time term of the round trip
+    # grows as the link narrows.
+    bwdrift_fraction: float = 0.0  # fraction of clients whose link degrades
+    bwdrift_steps: int = 3  # bandwidth changes per drifting client
+    bwdrift_factor: tuple[float, float] = (1.5, 3.0)  # per-step divisor
+
     def __post_init__(self):
-        for field_name in ("churn_fraction", "drift_fraction", "burst_fraction"):
+        for field_name in (
+            "churn_fraction",
+            "drift_fraction",
+            "burst_fraction",
+            "arrival_fraction",
+            "bwdrift_fraction",
+        ):
             v = getattr(self, field_name)
             if not 0.0 <= v <= 1.0:
                 raise ValueError(f"{field_name} must be in [0, 1], got {v}")
@@ -58,6 +80,8 @@ class ScenarioSpec:
             "churn_online",
             "drift_factor",
             "burst_duration",
+            "arrival_window",
+            "bwdrift_factor",
         ):
             lo, hi = getattr(self, field_name)
             if lo < 0 or hi < lo:
@@ -68,6 +92,12 @@ class ScenarioSpec:
             raise ValueError("burst_count must be non-negative")
         if self.burst_factor <= 0:
             raise ValueError("burst_factor must be positive")
+        if self.bwdrift_steps < 0:
+            raise ValueError("bwdrift_steps must be non-negative")
+        if self.bwdrift_factor[0] < 1.0:
+            # A divisor below 1 would *improve* bandwidth each step,
+            # silently inverting the documented degradation semantics.
+            raise ValueError("bwdrift_factor bounds must be >= 1 (links only degrade)")
 
     @property
     def is_static(self) -> bool:
@@ -76,6 +106,8 @@ class ScenarioSpec:
             self.churn_fraction == 0.0
             and (self.drift_fraction == 0.0 or self.drift_steps == 0)
             and self.burst_count == 0
+            and self.arrival_fraction == 0.0
+            and (self.bwdrift_fraction == 0.0 or self.bwdrift_steps == 0)
         )
 
 
@@ -88,6 +120,8 @@ SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
     "chaos": ScenarioSpec(
         name="chaos", churn_fraction=0.2, drift_fraction=0.2, burst_count=2
     ),
+    "arrival": ScenarioSpec(name="arrival", arrival_fraction=0.4),
+    "bwdrift": ScenarioSpec(name="bwdrift", bwdrift_fraction=0.4),
 }
 
 
@@ -99,8 +133,10 @@ def parse_scenario(text: str | None) -> ScenarioSpec:
     """Parse ``"name"`` or ``"name:arg"`` into a :class:`ScenarioSpec`.
 
     ``None``/``"none"`` mean static. The optional numeric argument overrides
-    the preset's headline knob: the churn/drift fraction, or the burst
-    count. Examples: ``"churn:0.5"``, ``"drift:0.1"``, ``"burst:5"``.
+    the preset's headline knob: the churn/drift/arrival fraction, the burst
+    count, or the per-step bandwidth-degradation factor. Examples:
+    ``"churn:0.5"``, ``"drift:0.1"``, ``"burst:5"``, ``"arrival:0.6"``,
+    ``"bwdrift:2.0"`` (every step halves the client's bandwidth).
     """
     if text is None:
         return SCENARIO_PRESETS["static"]
@@ -125,4 +161,10 @@ def parse_scenario(text: str | None) -> ScenarioSpec:
         return replace(spec, drift_fraction=value)
     if name == "burst":
         return replace(spec, burst_count=int(value))
+    if name == "arrival":
+        return replace(spec, arrival_fraction=value)
+    if name == "bwdrift":
+        # The argument pins the per-step divisor exactly: ``bwdrift:2``
+        # halves a drifting client's bandwidth at every step.
+        return replace(spec, bwdrift_factor=(value, value))
     raise ValueError(f"scenario {name!r} takes no argument (got {text!r})")

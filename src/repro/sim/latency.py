@@ -16,10 +16,17 @@ import numpy as np
 
 __all__ = [
     "PAPER_DELAY_BANDS",
+    "DEFAULT_FINITE_BANDWIDTH",
     "TierDelayModel",
     "ComputeModel",
     "ResponseLatencyModel",
 ]
+
+#: Bandwidth assumed when a scenario drifts client links but the run did
+#: not configure a finite link itself (≈ a constrained mobile uplink).
+#: Without *some* finite bandwidth a ``bwdrift`` scenario would be a no-op:
+#: the drift scales the transfer term, and ``None`` disables that term.
+DEFAULT_FINITE_BANDWIDTH = 25_000.0  # bytes per second
 
 #: The paper's five delay bands (seconds), fastest part first.
 PAPER_DELAY_BANDS: tuple[tuple[float, float], ...] = (
@@ -124,6 +131,21 @@ class ResponseLatencyModel:
     compute: ComputeModel = ComputeModel()
     bandwidth_bytes_per_s: float | None = None
 
+    def transfer_seconds(
+        self, payload_bytes: int, *, bandwidth_scale: float = 1.0
+    ) -> float:
+        """Transfer time for ``payload_bytes`` over the (scaled) link.
+
+        ``bandwidth_scale`` is the fraction of the nominal bandwidth still
+        available (bandwidth-drift scenarios shrink it over time); with no
+        finite bandwidth configured the transfer term is zero.
+        """
+        if not self.bandwidth_bytes_per_s or payload_bytes <= 0:
+            return 0.0
+        if bandwidth_scale <= 0:
+            raise ValueError(f"bandwidth_scale must be positive, got {bandwidth_scale}")
+        return payload_bytes / (self.bandwidth_bytes_per_s * bandwidth_scale)
+
     def round_latency(
         self,
         client_id: int,
@@ -132,12 +154,12 @@ class ResponseLatencyModel:
         rng: np.random.Generator,
         *,
         payload_bytes: int = 0,
+        bandwidth_scale: float = 1.0,
     ) -> float:
         """Sample the latency of one local round for ``client_id``."""
         t = self.compute.duration(n_samples, epochs)
         t += self.delays.sample_delay(client_id, rng)
-        if self.bandwidth_bytes_per_s:
-            t += payload_bytes / self.bandwidth_bytes_per_s
+        t += self.transfer_seconds(payload_bytes, bandwidth_scale=bandwidth_scale)
         return t
 
     def expected_latency(self, client_id: int, n_samples: int, epochs: int) -> float:

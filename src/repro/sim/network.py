@@ -11,13 +11,24 @@ __all__ = ["NetworkMeter"]
 
 
 class NetworkMeter:
-    """Cumulative uplink/downlink byte counters with an event log."""
+    """Cumulative uplink/downlink byte counters with an event log.
+
+    Under a finite-bandwidth link the meter additionally accumulates the
+    virtual seconds spent moving payloads (``transfer_seconds``), so
+    bandwidth-drift scenarios surface in a time-axis statistic and not
+    only as longer response latencies. Transfer time is charged per
+    *attempted* round trip at launch — like the downlink byte charge, it
+    includes clients that later churn or drop mid-round (they consumed
+    link time even though, unlike the uplink byte counter, no upload ever
+    reached the server).
+    """
 
     def __init__(self):
         self.uplink_bytes = 0
         self.downlink_bytes = 0
         self.uplink_messages = 0
         self.downlink_messages = 0
+        self.transfer_seconds = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -37,13 +48,20 @@ class NetworkMeter:
         self.downlink_bytes += int(nbytes)
         self.downlink_messages += 1
 
-    def snapshot(self) -> dict[str, int]:
+    def record_transfer(self, seconds: float) -> None:
+        """Charge virtual seconds of finite-bandwidth transfer time."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.transfer_seconds += float(seconds)
+
+    def snapshot(self) -> dict:
         return {
             "uplink_bytes": self.uplink_bytes,
             "downlink_bytes": self.downlink_bytes,
             "total_bytes": self.total_bytes,
             "uplink_messages": self.uplink_messages,
             "downlink_messages": self.downlink_messages,
+            "transfer_seconds": self.transfer_seconds,
         }
 
     def megabytes(self) -> float:

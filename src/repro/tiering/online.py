@@ -53,11 +53,18 @@ class LatencyTracker:
             self.estimates[i] += self.alpha * (latency - self.estimates[i])
         self.num_observations[i] += 1
 
-    def retier(self, num_tiers: int) -> Tiering:
-        """Split the full population into tiers on current estimates.
+    def retier(self, num_tiers: int, *, client_ids=None) -> Tiering:
+        """Split the population into tiers on current estimates.
 
+        ``client_ids`` restricts the split to a subset — under arrival
+        scenarios the server re-tiers only clients that exist yet.
         ``allow_empty`` keeps this robust if a caller ever re-tiers a
         population smaller than ``num_tiers`` (trailing tiers come back
         empty; the tiered methods guard that case end to end).
         """
-        return Tiering.from_latencies(self.estimates, num_tiers, allow_empty=True)
+        if client_ids is None:
+            return Tiering.from_latencies(self.estimates, num_tiers, allow_empty=True)
+        ids = np.asarray(sorted(int(c) for c in client_ids), dtype=np.int64)
+        return Tiering.from_latencies(
+            self.estimates[ids], num_tiers, allow_empty=True, client_ids=ids
+        )

@@ -25,7 +25,11 @@ class Tiering:
 
     @staticmethod
     def from_latencies(
-        latencies: np.ndarray, num_tiers: int, *, allow_empty: bool = False
+        latencies: np.ndarray,
+        num_tiers: int,
+        *,
+        allow_empty: bool = False,
+        client_ids: np.ndarray | list[int] | None = None,
     ) -> "Tiering":
         """Sort clients by latency and split into ``num_tiers`` equal groups.
 
@@ -33,6 +37,11 @@ class Tiering:
         broken by client id, making assignment deterministic. With
         ``allow_empty`` (online re-tiering over a shrunken population) fewer
         clients than tiers yields trailing empty tiers instead of an error.
+
+        ``client_ids`` maps each latency to an explicit client id, so a
+        *subset* of the population can be tiered — the growth path of
+        arrival scenarios, where only clients that have arrived exist as
+        far as the server is concerned. Without it, ids are 0..n-1.
         """
         latencies = np.asarray(latencies, dtype=float)
         if num_tiers < 1:
@@ -41,8 +50,15 @@ class Tiering:
             raise ValueError(
                 f"cannot form {num_tiers} tiers from {latencies.size} clients"
             )
-        order = np.lexsort((np.arange(latencies.size), latencies))
-        return Tiering([np.sort(part) for part in np.array_split(order, num_tiers)])
+        ids = np.arange(latencies.size, dtype=np.int64)
+        if client_ids is not None:
+            ids = np.asarray(client_ids, dtype=np.int64)
+            if ids.shape != latencies.shape:
+                raise ValueError("client_ids must align with latencies")
+        order = np.lexsort((ids, latencies))
+        return Tiering(
+            [np.sort(ids[part]) for part in np.array_split(order, num_tiers)]
+        )
 
     @property
     def num_tiers(self) -> int:
@@ -55,6 +71,11 @@ class Tiering:
     def tier_of(self, client_id: int) -> int:
         """Tier index of a client (KeyError for unknown ids)."""
         return self._tier_of[int(client_id)]
+
+    def __contains__(self, client_id: int) -> bool:
+        """Whether the client is assigned to any tier (arrival scenarios
+        tier only the part of the population that has arrived)."""
+        return int(client_id) in self._tier_of
 
     def clients_in(self, tier: int) -> np.ndarray:
         return self.tiers[tier]

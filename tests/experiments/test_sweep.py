@@ -1,6 +1,7 @@
 """Sweep runner: grid execution, crash-resume, checkpoint hygiene."""
 
 import json
+from pathlib import Path
 
 import pytest
 
@@ -124,6 +125,44 @@ def test_explicit_retier_interval_wins_even_under_smoke(spec):
     assert fl["retier_interval"] == 7
 
 
+def test_spec_from_dict_and_file_round_trip(spec, tmp_path):
+    payload = {
+        "methods": ["fedavg", "tifl"],
+        "scenarios": ["static", "churn"],
+        "seeds": [0, 1],
+        "dataset": "sentiment140",
+        "scale": "tiny",
+        "smoke": True,
+    }
+    from_dict = SweepSpec.from_dict(payload)
+    assert from_dict == spec
+    assert from_dict.key() == spec.key()
+    config = tmp_path / "sweep.json"
+    config.write_text(json.dumps(payload))
+    assert SweepSpec.from_file(config) == spec
+    # fl_overrides as a JSON object becomes the hashable tuple form.
+    overridden = SweepSpec.from_dict({**payload, "fl_overrides": {"lam": 0.1}})
+    assert overridden.fl_overrides == (("lam", 0.1),)
+    with pytest.raises(ValueError):
+        SweepSpec.from_dict({**payload, "grid": "big"})
+    with pytest.raises(ValueError):
+        SweepSpec.from_dict({**payload, "scenarios": ["earthquake"]})
+
+
+def test_committed_sweep_configs_parse():
+    root = Path(__file__).resolve().parent.parent.parent
+    configs = sorted((root / "examples").glob("sweep_*.json"))
+    assert configs, "no committed sweep configs under examples/"
+    scenarios = set()
+    for path in configs:
+        spec = SweepSpec.from_file(path)
+        assert spec.cells()
+        scenarios.update(spec.scenarios)
+    # The committed grids exercise the arrival and bandwidth-drift axes.
+    assert any(s.startswith("arrival") for s in scenarios)
+    assert any(s.startswith("bwdrift") for s in scenarios)
+
+
 def test_cli_sweep_smoke(tmp_path, capsys):
     rc = main(
         [
@@ -145,6 +184,35 @@ def test_cli_sweep_partial_exit_code(tmp_path, capsys):
     ]
     assert main(args + ["--max-runs", "1"]) == 3
     assert main(args) == 0  # resume finishes the grid
+
+
+def test_cli_sweep_config_file(tmp_path, capsys):
+    config = tmp_path / "grid.json"
+    config.write_text(
+        json.dumps(
+            {
+                "methods": ["fedavg"],
+                "scenarios": ["static", "bwdrift:2.0"],
+                "seeds": [0],
+                "dataset": "sentiment140",
+                "scale": "tiny",
+                "smoke": True,
+            }
+        )
+    )
+    rc = main(
+        ["sweep", "--config", str(config), "--out-dir", str(tmp_path / "out")]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "bwdrift:2.0" in out and "complete" in out
+
+
+def test_cli_sweep_rejects_bad_config(tmp_path, capsys):
+    config = tmp_path / "bad.json"
+    config.write_text(json.dumps({"methods": ["sgdboost"]}))
+    assert main(["sweep", "--config", str(config)]) == 2
+    assert main(["sweep", "--config", str(tmp_path / "missing.json")]) == 2
 
 
 def test_cli_sweep_rejects_bad_spec(capsys):

@@ -36,6 +36,21 @@ def test_parse_argument_overrides_headline_knob():
     assert parse_scenario("churn:0.5").churn_fraction == 0.5
     assert parse_scenario("drift:0.1").drift_fraction == 0.1
     assert parse_scenario("burst:5").burst_count == 5
+    assert parse_scenario("arrival:0.6").arrival_fraction == 0.6
+    assert parse_scenario("bwdrift:2.5").bwdrift_factor == (2.5, 2.5)
+
+
+def test_parse_new_presets_and_disabled_forms():
+    assert parse_scenario("arrival").arrival_fraction > 0
+    assert parse_scenario("bwdrift").bwdrift_fraction > 0
+    # Zeroed headline knobs disable the scenario entirely.
+    assert parse_scenario("arrival:0").is_static
+    with pytest.raises(ValueError):
+        parse_scenario("bwdrift:0")  # a zero bandwidth divisor is invalid
+    with pytest.raises(ValueError):
+        parse_scenario("bwdrift:0.5")  # divisors < 1 would improve links
+    with pytest.raises(ValueError):
+        parse_scenario("arrival:1.5")  # fraction out of range
 
 
 def test_parse_rejects_unknown_and_bad_args():
@@ -204,6 +219,80 @@ def test_burst_compilation_hits_a_subset_for_a_window():
     e0 = on[0]
     assert eng.latency_multiplier(e0.client_id, e0.time) == spec.burst_factor
     assert eng.latency_multiplier(e0.client_id, 0.0) == 1.0
+
+
+# --------------------------------------------------------------------- #
+# Arrival (population growth) timelines
+# --------------------------------------------------------------------- #
+def test_arrive_gates_availability():
+    eng = _engine([ScenarioEvent(25.0, "arrive", 2)])
+    assert not eng.is_available(2, 0.0)
+    assert not eng.is_available(2, 24.999)
+    assert eng.is_available(2, 25.0)  # transition applies at its time
+    assert eng.arrival_time(2) == 25.0
+    assert eng.arrival_time(0) == 0.0
+    assert eng.founders() == [0, 1, 3]
+    assert eng.late_arrivals() == [(2, 25.0)]
+    # A round must start after arrival to complete.
+    assert not eng.available_throughout(2, 20.0, 30.0)
+    assert eng.available_throughout(2, 25.0, 1e9)
+
+
+def test_next_join_after_counts_arrivals():
+    eng = _engine(
+        [
+            ScenarioEvent(40.0, "arrive", 0),
+            ScenarioEvent(10.0, "leave", 1),
+            ScenarioEvent(60.0, "join", 1),
+        ]
+    )
+    assert eng.next_join_after([0], 0.0) == 40.0
+    assert eng.next_join_after([0, 1], 20.0) == 40.0
+    assert eng.next_join_after([1], 20.0) == 60.0
+    assert eng.next_join_after([0], 40.0) is None
+
+
+def test_arrival_compilation_keeps_a_founder():
+    spec = ScenarioSpec(name="arrival", arrival_fraction=1.0)
+    eng = ScenarioEngine.compile(spec, 6, 100.0, np.random.default_rng(4))
+    late = eng.late_arrivals()
+    assert len(late) == 5  # at least one client founds the federation
+    assert len(eng.founders()) == 1
+    times = [t for _, t in late]
+    assert times == sorted(times)
+    lo, hi = spec.arrival_window
+    assert all(lo * 100.0 <= t <= hi * 100.0 for t in times)
+
+
+# --------------------------------------------------------------------- #
+# Bandwidth-drift timelines
+# --------------------------------------------------------------------- #
+def test_bandwidth_scale_fires_at_exact_times():
+    eng = _engine(
+        [
+            ScenarioEvent(5.0, "bandwidth", 0, 0.5),
+            ScenarioEvent(9.0, "bandwidth", 0, 0.25),
+        ]
+    )
+    assert eng.bandwidth_scale(0, 4.999) == 1.0
+    assert eng.bandwidth_scale(0, 5.0) == 0.5
+    assert eng.bandwidth_scale(0, 9.0) == 0.25
+    assert eng.bandwidth_scale(1, 9.0) == 1.0  # other clients untouched
+    assert eng.has_bandwidth_events
+    assert not _engine([]).has_bandwidth_events
+    # Bandwidth drift is not a latency multiplier.
+    assert eng.latency_multiplier(0, 9.0) == 1.0
+
+
+def test_bwdrift_compilation_is_monotone_and_positive():
+    spec = ScenarioSpec(name="bwdrift", bwdrift_fraction=1.0, bwdrift_steps=4)
+    eng = ScenarioEngine.compile(spec, 5, 80.0, np.random.default_rng(6))
+    for cid in range(5):
+        scales = [e.value for e in eng.events if e.client_id == cid]
+        assert len(scales) == 4
+        assert all(s > 0 for s in scales)
+        assert all(b < a for a, b in zip(scales, scales[1:]))  # link degrades
+        assert eng.bandwidth_scale(cid, 80.0) == scales[-1]
 
 
 def test_engine_rejects_bad_events():

@@ -1,0 +1,106 @@
+"""Property tests for scenario compilation (hypothesis).
+
+Invariants locked down here:
+
+- a static spec compiles to *zero* events for any population/horizon;
+- churn availability windows are well-ordered (alternating leave/join with
+  strictly increasing times, starting offline);
+- compiled arrival times are monotone in event order, stay inside the
+  window, and always leave at least one founding client;
+- bandwidth timelines are strictly positive and non-increasing at every
+  queried instant.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scenario import ScenarioEngine, ScenarioSpec
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+positive_fractions = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+populations = st.integers(min_value=2, max_value=40)
+horizons = st.floats(min_value=1.0, max_value=5000.0, allow_nan=False)
+seeds = st.integers(min_value=0, max_value=2**32 - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=populations, horizon=horizons, seed=seeds)
+def test_static_spec_always_compiles_to_zero_events(n, horizon, seed):
+    spec = ScenarioSpec(name="static")
+    eng = ScenarioEngine.compile(spec, n, horizon, np.random.default_rng(seed))
+    assert eng.is_static
+    assert eng.events == []
+    # And zeroed headline knobs are exactly as static as the static preset.
+    zeroed = ScenarioSpec(
+        name="zeroed", churn_fraction=0.0, drift_fraction=0.0,
+        burst_count=0, arrival_fraction=0.0, bwdrift_fraction=0.0,
+    )
+    assert zeroed.is_static
+    eng2 = ScenarioEngine.compile(zeroed, n, horizon, np.random.default_rng(seed))
+    assert eng2.events == []
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fraction=positive_fractions, n=populations, horizon=horizons, seed=seeds
+)
+def test_churn_availability_windows_are_well_ordered(fraction, n, horizon, seed):
+    spec = ScenarioSpec(name="churn", churn_fraction=fraction)
+    eng = ScenarioEngine.compile(spec, n, horizon, np.random.default_rng(seed))
+    per_client: dict[int, list] = {}
+    for ev in eng.events:
+        per_client.setdefault(ev.client_id, []).append(ev)
+    for events in per_client.values():
+        times = [e.time for e in events]
+        assert times == sorted(times)
+        assert all(b > a for a, b in zip(times, times[1:]))  # strictly ordered
+        kinds = [e.kind for e in events]
+        # Alternating windows, starting with a departure, inside the horizon.
+        assert all(
+            k == ("leave" if i % 2 == 0 else "join") for i, k in enumerate(kinds)
+        )
+        assert all(0.0 <= t < horizon for t in times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fraction=positive_fractions, n=populations, horizon=horizons, seed=seeds
+)
+def test_arrival_times_monotone_with_a_founder(fraction, n, horizon, seed):
+    spec = ScenarioSpec(name="arrival", arrival_fraction=fraction)
+    eng = ScenarioEngine.compile(spec, n, horizon, np.random.default_rng(seed))
+    late = eng.late_arrivals()
+    assert len(eng.founders()) >= 1
+    assert len(eng.founders()) + len(late) == n
+    times = [t for _, t in late]
+    assert times == sorted(times)  # monotone arrival schedule
+    lo, hi = spec.arrival_window
+    assert all(lo * horizon <= t <= hi * horizon for t in times)
+    arrive_events = [e.time for e in eng.events if e.kind == "arrive"]
+    assert arrive_events == sorted(arrive_events)
+    for cid, t in late:
+        assert not eng.is_available(cid, t - 1e-9 * max(t, 1.0))
+        assert eng.is_available(cid, t)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    fraction=fractions,
+    steps=st.integers(min_value=0, max_value=6),
+    n=populations,
+    horizon=horizons,
+    seed=seeds,
+)
+def test_bandwidth_timelines_always_positive(fraction, steps, n, horizon, seed):
+    spec = ScenarioSpec(
+        name="bwdrift", bwdrift_fraction=fraction, bwdrift_steps=steps
+    )
+    eng = ScenarioEngine.compile(spec, n, horizon, np.random.default_rng(seed))
+    assert all(e.value > 0 for e in eng.events)
+    probes = np.linspace(0.0, horizon * 1.5, 13)
+    for cid in range(n):
+        scales = [eng.bandwidth_scale(cid, t) for t in probes]
+        assert all(s > 0.0 for s in scales)
+        assert all(b <= a for a, b in zip(scales, scales[1:]))  # only degrades
+        assert scales[0] <= 1.0

@@ -63,6 +63,33 @@ def test_static_scenario_bit_identical(method):
     assert plain.to_dict()["records"] == static.to_dict()["records"]
 
 
+@pytest.mark.parametrize("scenario", ["arrival:0", "none"])
+@pytest.mark.parametrize("method", ["fedat", "fedavg", "fedasync"])
+def test_disabled_new_scenarios_bit_identical_to_static(method, scenario):
+    plain = run_experiment(
+        method, "sentiment140", scale="tiny", seed=5, max_rounds=5
+    )
+    disabled = run_experiment(
+        method, "sentiment140", scale="tiny", seed=5, max_rounds=5,
+        scenario=scenario,
+    )
+    assert plain.to_dict()["records"] == disabled.to_dict()["records"]
+
+
+@pytest.mark.parametrize("scenario", ["arrival:0.5", "bwdrift:2.0"])
+@pytest.mark.parametrize(
+    "method", ["fedat", "tifl", "fedavg", "fedprox", "fedasync", "asofed"]
+)
+def test_new_scenarios_run_end_to_end(method, scenario):
+    history = run_experiment(
+        method, "sentiment140", scale="tiny", seed=3, max_rounds=6,
+        scenario=scenario,
+    )
+    assert history.rounds()[-1] > 0
+    assert np.all(np.isfinite(history.accuracies()))
+    assert np.all(np.isfinite(history.losses()))
+
+
 def test_dynamic_scenario_changes_history():
     plain = run_experiment(
         "fedavg", "sentiment140", scale="tiny", seed=5, max_rounds=5
@@ -250,6 +277,98 @@ def test_sync_run_survives_transient_total_churn(dataset):
     history = system.run()
     assert history.rounds()[-1] > 0
     assert history.times()[-1] >= 40.0
+
+
+# --------------------------------------------------------------------- #
+# Arrival: population growth
+# --------------------------------------------------------------------- #
+def test_fedat_arrival_grows_tiering_from_held_back_pool(dataset):
+    system = _build(
+        FedAT, dataset, scenario="arrival:0.5", max_rounds=400, max_time=260.0,
+    )
+    founders = system.tiering.num_clients
+    pool_size = len(system.arrival_pool)
+    assert founders < dataset.num_clients
+    assert founders + pool_size == dataset.num_clients
+    # Late clients are not tiered (the server has never heard of them).
+    for cid in system.arrival_pool.remaining():
+        assert cid not in system.tiering
+    history = system.run()
+    assert system.tiering.num_clients == dataset.num_clients
+    assert len(system.arrival_pool) == 0
+    trace = history.meta["arrival_trace"]
+    assert len(trace) == pool_size
+    times = [t["time"] for t in trace]
+    assert times == sorted(times)
+    assert sum(trace[-1]["sizes"]) == dataset.num_clients
+
+
+def test_sync_selection_folds_arrivals_in(dataset):
+    system = _build(FedAvg, dataset)
+    try:
+        system.scenario = ScenarioEngine.from_events(
+            dataset.num_clients, [ScenarioEvent(50.0, "arrive", 4)]
+        )
+        everyone = list(range(dataset.num_clients))
+        assert 4 not in system.alive(everyone, 0.0)
+        assert 4 not in system.alive(everyone, 49.0)
+        assert 4 in system.alive(everyone, 50.0)
+        # A round started before arrival can never complete.
+        assert not system.completes(4, 40.0, 60.0)
+        assert system.completes(4, 50.0, 60.0)
+    finally:
+        system.executor.close()
+
+
+def test_fedasync_launches_late_arrivals(dataset):
+    system = _build(FedAsync, dataset, max_rounds=4000, max_time=120.0)
+    # Only client 0 founds the federation; everyone else arrives at t=50.
+    system.scenario = ScenarioEngine.from_events(
+        dataset.num_clients,
+        [ScenarioEvent(50.0, "arrive", c) for c in range(1, dataset.num_clients)],
+    )
+    history = system.run()
+    # The run must outlive the arrival wave and keep aggregating after it.
+    assert history.times()[-1] > 50.0
+    assert history.rounds()[-1] > 0
+
+
+# --------------------------------------------------------------------- #
+# Bandwidth drift: the finite-bandwidth transfer term
+# --------------------------------------------------------------------- #
+def test_bandwidth_scale_slows_only_the_transfer_term(dataset):
+    system = _build(FedAvg, dataset, seed=11, bandwidth_bytes_per_s=1000.0)
+    try:
+        system._last_payload_nbytes = 500  # as if a model just went down
+        system.scenario = ScenarioEngine.from_events(
+            dataset.num_clients, [ScenarioEvent(0.0, "bandwidth", 2, 0.25)]
+        )
+        system.now = 1.0
+        rng_state = system._latency_rng.bit_generator.state
+        degraded = system.sample_latency(2)
+        system._latency_rng.bit_generator.state = rng_state
+        system.scenario = ScenarioEngine.from_events(dataset.num_clients, [])
+        base = system.sample_latency(2)
+        # Payload 2*500 B at 1000 B/s: 1 s nominal, 4 s at quarter bandwidth.
+        assert degraded == pytest.approx(base + 3.0)
+        assert system.meter.transfer_seconds == pytest.approx(4.0 + 1.0)
+    finally:
+        system.executor.close()
+
+
+def test_bwdrift_changes_history_and_meters_transfer(dataset):
+    static = run_experiment(
+        "fedavg", "sentiment140", scale="tiny", seed=5, max_rounds=5,
+    )
+    drifted = run_experiment(
+        "fedavg", "sentiment140", scale="tiny", seed=5, max_rounds=5,
+        scenario="bwdrift:2.0",
+    )
+    assert static.to_dict()["records"] != drifted.to_dict()["records"]
+    # Without a configured link the scenario engages the default finite
+    # bandwidth, so transfer time is genuinely accounted.
+    assert drifted.meta["network"]["transfer_seconds"] > 0.0
+    assert static.meta["network"]["transfer_seconds"] == 0.0
 
 
 def test_fedat_tier_revives_after_mass_churn(dataset):
