@@ -2,10 +2,18 @@
 """Perf-regression gate for the parameter engine.
 
 Compares a fresh ``bench_param_engine.py`` artifact against the committed
-baseline and fails (exit 1) when the flat-weights roundtrip *speedup ratio*
-— store layout vs legacy layout on the same machine, so the statistic is
-hardware-normalized — regresses more than the allowed fraction, or drops
-below the 1.5x acceptance floor.
+baseline and fails (exit 1) when either hardware-normalized *speedup
+ratio* regresses more than the allowed fraction or drops below its
+acceptance floor:
+
+- the flat-weights roundtrip (store vs legacy layout, >= 1.5x), and
+- end-to-end fused-plan clients/s (compiled TrainingPlan on vs the
+  unfused per-batch loop, headline cell, >= 1.4x floor; the recorded
+  acceptance target is 1.8x on the full-resolution cell).
+
+Both are ratios measured on one machine in one process, so host speed
+divides out. Smoke artifacts (``REPRO_SMOKE=1``) skip the fused floor —
+their tiny cell is not the headline workload.
 
 Usage (what the nightly workflow runs)::
 
@@ -19,13 +27,15 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
 from pathlib import Path
 
-#: Fail when the fresh roundtrip speedup falls below (1 - tolerance) x baseline.
+#: Fail when a fresh speedup falls below (1 - tolerance) x baseline.
 DEFAULT_TOLERANCE = 0.25
-#: Absolute floor from the refactor's acceptance criteria.
+#: Absolute floor from the flat-store refactor's acceptance criteria.
 SPEEDUP_FLOOR = 1.5
+#: Absolute floor for the fused-plan clients/s headline cell (the recorded
+#: acceptance target is 1.8x; the gate floor leaves noise headroom).
+FUSED_SPEEDUP_FLOOR = 1.4
 
 
 def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
@@ -43,6 +53,36 @@ def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
         failures.append(
             f"flat-weights roundtrip speedup {fresh_speedup:.2f}x is below "
             f"the {SPEEDUP_FLOOR}x acceptance floor"
+        )
+    failures.extend(_check_fused(fresh, baseline, tolerance))
+    return failures
+
+
+def _check_fused(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    """Gate the fused-plan clients/s headline (full artifacts only)."""
+    if fresh.get("smoke"):
+        return []
+    fresh_fused = fresh.get("fused_plan")
+    if fresh_fused is None:
+        # A full artifact without the section means the gate would be
+        # silently disabled (stale bench checkout, renamed section): fail
+        # loudly instead.
+        return ["full artifact has no fused_plan section; gate cannot run"]
+    failures = []
+    speedup = fresh_fused["speedup"]
+    base_fused = baseline.get("fused_plan")
+    if base_fused is not None and not baseline.get("smoke"):
+        allowed = base_fused["speedup"] * (1.0 - tolerance)
+        if speedup < allowed:
+            failures.append(
+                f"fused-plan clients/s regressed: speedup {speedup:.2f}x "
+                f"< {allowed:.2f}x ({(1 - tolerance) * 100:.0f}% of baseline "
+                f"{base_fused['speedup']:.2f}x)"
+            )
+    if speedup < FUSED_SPEEDUP_FLOOR:
+        failures.append(
+            f"fused-plan clients/s speedup {speedup:.2f}x is below the "
+            f"{FUSED_SPEEDUP_FLOOR}x gate floor"
         )
     return failures
 
@@ -72,6 +112,13 @@ def main(argv: list[str] | None = None) -> int:
         f"flat roundtrip: fresh {rt_fresh['speedup']:.2f}x vs baseline "
         f"{rt_base['speedup']:.2f}x (tolerance {args.tolerance * 100:.0f}%)"
     )
+    if "fused_plan" in fresh:
+        fp = fresh["fused_plan"]
+        print(
+            f"fused plan [{fp['headline']}]: {fp['speedup']:.2f}x "
+            f"({fp['clients_per_s']:.1f} clients/s"
+            + (", smoke — not gated)" if fresh.get("smoke") else ", gated)")
+        )
     for section in ("optimizer_step", "cohort_dispatch", "end_to_end"):
         if section in fresh:
             print(f"{section}: {fresh[section]['speedup']:.2f}x (informational)")

@@ -47,6 +47,10 @@ class Codec:
     """Encode/decode flat weight vectors; report wire bytes."""
 
     name = "base"
+    #: True when encode() is a pure function of the input vector. Stateful
+    #: codecs (anything drawing an RNG per message) must set this False so
+    #: the downlink encode cache never elides their per-send state updates.
+    deterministic = True
 
     def encode(self, flat: np.ndarray) -> Payload:
         raise NotImplementedError
@@ -186,6 +190,9 @@ class SubsampleCodec(Codec):
     """
 
     name = "subsample"
+    #: Each encode draws a fresh random mask — caching one would freeze the
+    #: mask across sends and skip RNG draws, changing the simulation.
+    deterministic = False
 
     def __init__(self, fraction: float = 0.25, seed: int = 0):
         if not 0 < fraction <= 1:

@@ -140,6 +140,9 @@ class FLSystem:
             horizon=config.dropout_horizon,
         )
         self.meter = NetworkMeter()
+        #: Downlink encode cache: (global version, source array, payload
+        #: bytes, decoded weights). See :meth:`send_down`.
+        self._downlink_cache = None
         #: Set by tiered methods when online re-tiering is enabled.
         self.retier_tracker = None
         #: Under arrival scenarios the tiered methods restrict tiering to
@@ -182,21 +185,71 @@ class FLSystem:
     # ------------------------------------------------------------------ #
     # Building blocks
     # ------------------------------------------------------------------ #
+    @property
+    def global_weights(self) -> np.ndarray:
+        return self._global_weights
+
+    @global_weights.setter
+    def global_weights(self, value: np.ndarray) -> None:
+        # Every rebind is a (potential) new global model: bump the version
+        # so the downlink encode cache (see send_down) invalidates. All
+        # aggregation paths rebind rather than mutate in place.
+        self._global_weights = value
+        self._global_version = getattr(self, "_global_version", 0) + 1
+
     def optimizer_spec(self) -> OptimizerSpec:
         """Picklable recipe for the per-round local solver."""
         return OptimizerSpec(self.config.optimizer, self.config.learning_rate)
 
     def send_down(self, flat: np.ndarray, n_receivers: int = 1) -> np.ndarray:
         """Server→client transfer: encode once, charge each receiver, return
-        the (possibly lossy) weights the clients actually start from."""
+        the (possibly lossy) weights the clients actually start from.
+
+        The encode/decode pair is cached against the global-model version
+        counter: the async methods (FedAT tier launches, FedAsync/ASO-Fed
+        per-client relaunches) repeatedly send an *unchanged* global model,
+        and re-encoding it per launch was pure waste. Metering is per
+        receiver exactly as before, and for a deterministic codec the
+        cached decode is byte-for-byte the fresh one, so histories are
+        bit-identical. Stateful codecs (``Codec.deterministic`` False —
+        the random-mask subsample sketch) bypass the cache entirely: their
+        per-send RNG draws are part of the simulation. The cached decoded
+        array is returned read-only (it is shared across launches; every
+        consumer copies).
+        """
         with self.timers.phase("encode"):
-            payload = self.codec.encode(flat)
+            cache = self._downlink_cache
+            if (
+                cache is not None
+                and cache[0] == self._global_version
+                and cache[1] is flat
+            ):
+                payload_nbytes, decoded = cache[2], cache[3]
+            else:
+                payload = self.codec.encode(flat)
+                decoded = self.codec.decode(payload)
+                payload_nbytes = payload.nbytes
+                if self.codec.deterministic:
+                    decoded.flags.writeable = False
+                    # Freeze the cached *source* too: the cache key is
+                    # (version, object identity), which in-place mutation
+                    # through an alias would bypass — freezing turns that
+                    # silent staleness into an immediate ValueError at the
+                    # mutation site. Aggregation always rebinds (bumping
+                    # the version), never mutates.
+                    flat.flags.writeable = False
+                    self._downlink_cache = (
+                        self._global_version,
+                        flat,
+                        payload_nbytes,
+                        decoded,
+                    )
             for _ in range(n_receivers):
-                self.meter.record_download(payload.nbytes)
+                self.meter.record_download(payload_nbytes)
             # Remember the wire size so sampled latencies can include transfer
             # time under a finite-bandwidth model (uplink ≈ downlink size).
-            self._last_payload_nbytes = payload.nbytes
-            return self.codec.decode(payload)
+            self._last_payload_nbytes = payload_nbytes
+            return decoded
 
     def send_up(self, flat: np.ndarray) -> np.ndarray:
         """Client→server transfer: returns what the server decodes."""

@@ -50,7 +50,9 @@ _WORKER: dict = {}
 def _init_worker(model: Sequential, clients: dict, loss: Loss, optimizer: OptimizerSpec):
     # One SerialExecutor per worker process: chunk execution reuses the
     # exact task->local_train mapping of the serial backend, so the two
-    # paths cannot drift apart.
+    # paths cannot drift apart. Constructing it also compiles the worker
+    # replica's fused TrainingPlan (and its scratch arena) once per
+    # process, before the first cohort arrives.
     _WORKER["executor"] = SerialExecutor(model, clients, loss, optimizer)
     _WORKER["shm"] = {}
 

@@ -7,6 +7,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.exec.base import ClientExecutor, CohortTask, OptimizerSpec
+from repro.nn import plan as plan_mod
 from repro.nn.losses import Loss
 from repro.nn.model import Sequential
 from repro.sim.client import LocalTrainingResult, SimClient
@@ -20,6 +21,11 @@ class SerialExecutor(ClientExecutor):
     Keeps 100–500-client simulations cheap (no per-client model instances)
     at the cost of serializing local training — the ceiling
     :class:`~repro.exec.parallel.ParallelExecutor` lifts.
+
+    The fused :class:`~repro.nn.plan.TrainingPlan` for ``(model, loss)`` is
+    compiled eagerly at construction, so every backend replica — this
+    executor is also the per-process worker core of the parallel backend —
+    pays compilation once, not on its first cohort.
     """
 
     name = "serial"
@@ -35,6 +41,8 @@ class SerialExecutor(ClientExecutor):
         self.clients = clients
         self.loss = loss
         self.optimizer = optimizer
+        if plan_mod.DEFAULT_TRAINING_PLAN:
+            model.training_plan(loss)  # cached; local_train reuses it
 
     def run_cohort(
         self, start_weights: np.ndarray, tasks: Sequence[CohortTask]

@@ -17,6 +17,7 @@ from repro.nn.layers import BatchNorm, Dense, Dropout, Flatten
 from repro.nn.losses import MSELoss, SoftmaxCrossEntropy
 from repro.nn.model import Sequential, WeightSpec
 from repro.nn.optimizers import SGD, Adam, Optimizer
+from repro.nn.plan import ScratchArena, TrainingPlan
 from repro.nn.pooling import GlobalAveragePool, MaxPool2D
 from repro.nn.schedules import (
     ClippedOptimizer,
@@ -65,6 +66,8 @@ __all__ = [
     "Sequential",
     "WeightSpec",
     "ProximalTerm",
+    "ScratchArena",
+    "TrainingPlan",
     "build_cnn",
     "build_femnist_cnn",
     "build_logistic",

@@ -1,4 +1,10 @@
-"""Activation layers with explicit backward passes."""
+"""Activation layers with explicit backward passes.
+
+ReLU/Tanh/Sigmoid implement the fused-plan kernel protocol (optional
+``out``/``scratch`` parameters, see :mod:`repro.nn.plan`): every planned
+operation is the ``out=`` form of exactly the legacy expression, so the
+two paths are bit-identical.
+"""
 
 from __future__ import annotations
 
@@ -9,9 +15,10 @@ from repro.nn.layers import Layer
 __all__ = ["ReLU", "Tanh", "Sigmoid", "Softmax", "sigmoid", "softmax"]
 
 
-def sigmoid(x: np.ndarray) -> np.ndarray:
-    """Numerically stable logistic sigmoid."""
-    out = np.empty_like(x)
+def sigmoid(x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable logistic sigmoid (optionally into ``out``)."""
+    if out is None:
+        out = np.empty_like(x)
     pos = x >= 0
     out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
     expx = np.exp(x[~pos])
@@ -29,34 +36,117 @@ def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
 class ReLU(Layer):
     """Rectified linear unit."""
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._mask = x > 0
-        return x * self._mask
+    plan_aware = True
+    plan_inplace = True
+    _cache_attrs = ("_mask",)
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        return grad * self._mask
+    def forward(
+        self, x: np.ndarray, training: bool = False, *, out=None, scratch=None
+    ) -> np.ndarray:
+        if scratch is None and out is None:
+            self._mask = x > 0
+            return x * self._mask
+        if scratch is not None:
+            mask = scratch("mask", x.shape, np.bool_)
+            np.greater(x, 0, out=mask)
+            if out is None:
+                out = scratch("y", x.shape, x.dtype)
+        else:
+            mask = x > 0
+        self._mask = mask
+        np.multiply(x, mask, out=out)
+        return out
+
+    def backward(
+        self, grad: np.ndarray, *, out=None, scratch=None, input_grad: bool = True
+    ) -> np.ndarray | None:
+        if not input_grad:
+            return None
+        if out is None and scratch is not None:
+            out = grad  # planned backward: the upstream grad buffer is dead
+        if out is None:
+            return grad * self._mask
+        np.multiply(grad, self._mask, out=out)
+        return out
 
 
 class Tanh(Layer):
     """Hyperbolic tangent."""
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._out = np.tanh(x)
+    plan_aware = True
+    plan_inplace = True
+    #: backward differentiates through the cached output, so the next
+    #: layer must not overwrite this layer's output buffer in place.
+    plan_backward_needs_output = True
+    _cache_attrs = ("_out",)
+
+    def forward(
+        self, x: np.ndarray, training: bool = False, *, out=None, scratch=None
+    ) -> np.ndarray:
+        if out is None and scratch is not None:
+            out = scratch("y", x.shape, x.dtype)
+        if out is None:
+            self._out = np.tanh(x)
+        else:
+            self._out = np.tanh(x, out=out)
         return self._out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        return grad * (1.0 - self._out**2)
+    def backward(
+        self, grad: np.ndarray, *, out=None, scratch=None, input_grad: bool = True
+    ) -> np.ndarray | None:
+        if not input_grad:
+            return None
+        if scratch is None and out is None:
+            return grad * (1.0 - self._out**2)
+        # Same op chain as the legacy expression: power, subtract, multiply.
+        t = scratch("t", grad.shape, grad.dtype) if scratch is not None else None
+        if t is None:
+            t = 1.0 - self._out**2
+        else:
+            np.power(self._out, 2, out=t)
+            np.subtract(1.0, t, out=t)
+        if out is None:
+            out = grad  # planned backward: the upstream grad buffer is dead
+        np.multiply(grad, t, out=out)
+        return out
 
 
 class Sigmoid(Layer):
     """Logistic sigmoid."""
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
-        self._out = sigmoid(x)
+    plan_aware = True
+    plan_inplace = True
+    #: backward differentiates through the cached output, so the next
+    #: layer must not overwrite this layer's output buffer in place.
+    plan_backward_needs_output = True
+    _cache_attrs = ("_out",)
+
+    def forward(
+        self, x: np.ndarray, training: bool = False, *, out=None, scratch=None
+    ) -> np.ndarray:
+        if out is None and scratch is not None:
+            out = scratch("y", x.shape, x.dtype)
+        self._out = sigmoid(x, out=out)
         return self._out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
-        return grad * self._out * (1.0 - self._out)
+    def backward(
+        self, grad: np.ndarray, *, out=None, scratch=None, input_grad: bool = True
+    ) -> np.ndarray | None:
+        if not input_grad:
+            return None
+        if scratch is None and out is None:
+            return grad * self._out * (1.0 - self._out)
+        # Legacy evaluation order: (grad * out) * (1 - out).
+        a = scratch("a", grad.shape, grad.dtype) if scratch is not None else None
+        b = scratch("b", grad.shape, grad.dtype) if scratch is not None else None
+        if a is None or b is None:
+            return grad * self._out * (1.0 - self._out)
+        np.multiply(grad, self._out, out=a)
+        np.subtract(1.0, self._out, out=b)
+        if out is None:
+            out = grad  # planned backward: the upstream grad buffer is dead
+        np.multiply(a, b, out=out)
+        return out
 
 
 class Softmax(Layer):
@@ -66,6 +156,8 @@ class Softmax(Layer):
     training; this standalone layer exists for inference-time probability
     outputs and for models whose loss is not cross-entropy.
     """
+
+    _cache_attrs = ("_out",)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._out = softmax(x)

@@ -75,7 +75,16 @@ def col2im(
 
 
 class Conv2D(Layer):
-    """2-D convolution, NHWC layout, with 'same' or 'valid' padding."""
+    """2-D convolution, NHWC layout, with 'same' or 'valid' padding.
+
+    The planned path (``scratch``, see :mod:`repro.nn.plan`) reuses arena
+    buffers for the padded input frame, the im2col column block, and every
+    gradient scatter — each op the ``out=`` form of exactly the legacy op,
+    so both paths are bit-identical.
+    """
+
+    plan_aware = True
+    _cache_attrs = ("_x_shape", "_cols")
 
     def __init__(
         self,
@@ -105,20 +114,127 @@ class Conv2D(Layer):
         self.in_channels = in_channels
         self.out_channels = out_channels
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, *, out=None, scratch=None
+    ) -> np.ndarray:
         self._x_shape = x.shape
-        cols, (oh, ow) = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        if scratch is None:
+            cols, (oh, ow) = im2col(x, self.kh, self.kw, self.stride, self.pad)
+        else:
+            cols, (oh, ow) = self._im2col_arena(x, scratch)
         self._cols = cols
-        out = cols @ self.w.data + self.b.data
-        return out.reshape(x.shape[0], oh, ow, self.out_channels)
+        n = x.shape[0]
+        if out is None and scratch is not None:
+            out = scratch(
+                "y",
+                (n * oh * ow, self.out_channels),
+                np.result_type(cols.dtype, self.w.data.dtype),
+            )
+        if out is None:
+            out = cols @ self.w.data + self.b.data
+        else:
+            out = out.reshape(n * oh * ow, self.out_channels)
+            np.matmul(cols, self.w.data, out=out)
+            np.add(out, self.b.data, out=out)
+        return out.reshape(n, oh, ow, self.out_channels)
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def _im2col_arena(self, x, scratch):
+        """im2col into a reusable column buffer (+ padded frame buffer).
+
+        Arena buffers are zero-filled on allocation, so the frame around a
+        padded input's interior stays zero across reuse — only the interior
+        is rewritten per batch, matching ``np.pad``'s zeros exactly.
+        """
+        n, h, w, c = x.shape
+        kh, kw, stride, pad = self.kh, self.kw, self.stride, self.pad
+        oh = _out_size(h, kh, stride, pad)
+        ow = _out_size(w, kw, stride, pad)
+        if oh <= 0 or ow <= 0:
+            raise ValueError(
+                f"kernel ({kh}x{kw}, stride={stride}, pad={pad}) too large for input {h}x{w}"
+            )
+        if pad:
+            padded = scratch("pad", (n, h + 2 * pad, w + 2 * pad, c), x.dtype)
+            padded[:, pad : pad + h, pad : pad + w, :] = x
+            x = padded
+        sn, sh, sw, sc = x.strides
+        shape = (n, oh, ow, kh, kw, c)
+        strides = (sn, sh * stride, sw * stride, sh, sw, sc)
+        if x.flags["C_CONTIGUOUS"]:
+            # The raw constructor is ~4x cheaper per batch than the
+            # as_strided wrapper; same view, same bytes.
+            patches = np.ndarray(shape, dtype=x.dtype, buffer=x, strides=strides)
+        else:
+            patches = as_strided(x, shape=shape, strides=strides, writeable=False)
+        cols = scratch("cols", (n * oh * ow, kh * kw * c), x.dtype)
+        np.copyto(cols.reshape(n, oh, ow, kh, kw, c), patches)
+        return cols, (oh, ow)
+
+    def backward(
+        self, grad: np.ndarray, *, out=None, scratch=None, input_grad: bool = True
+    ) -> np.ndarray | None:
         n, oh, ow, oc = grad.shape
         gflat = grad.reshape(n * oh * ow, oc)
-        self.w.grad += self._cols.T @ gflat
-        self.b.grad += gflat.sum(axis=0)
-        dcols = gflat @ self.w.data.T
-        return col2im(dcols, self._x_shape, self.kh, self.kw, self.stride, self.pad)
+        if scratch is None:
+            self.w.grad += self._cols.T @ gflat
+            self.b.grad += gflat.sum(axis=0)
+            if not input_grad:
+                return None
+            dcols = gflat @ self.w.data.T
+            return col2im(dcols, self._x_shape, self.kh, self.kw, self.stride, self.pad)
+        # "~"-named scratch is arena-wide shared across layers: everything
+        # taken here is dead before any other layer's backward runs.
+        gw = scratch("~gw", self.w.data.shape, self.w.grad.dtype)
+        np.matmul(self._cols.T, gflat, out=gw)
+        self.w.grad += gw
+        gb = scratch("~gb", self.b.data.shape, self.b.grad.dtype)
+        # np.sum delegates to add.reduce; calling it directly skips the
+        # dispatch wrapper (identical reduction, identical bits).
+        np.add.reduce(gflat, axis=0, out=gb)
+        self.b.grad += gb
+        if not input_grad:
+            return None
+        dcols = scratch("~dcols", self._cols.shape, grad.dtype)
+        np.matmul(gflat, self.w.data.T, out=dcols)
+        # col2im into a reused (re-zeroed) scatter buffer. Two exact-value
+        # restructurings of the legacy scatter: (a) the column block is
+        # re-laid-out kernel-position-major, so each (i, j) slice is one
+        # large near-contiguous block instead of a c-wide sliver; (b) the
+        # scatter is clipped to the unpadded interior — the frame cells
+        # legacy col2im accumulates are sliced away before returning, so
+        # never computing them changes nothing. Every surviving cell still
+        # accumulates the same contributions in the same (i, j) order, so
+        # the sums are bit-identical to the legacy col2im.
+        nh, h, w, c = self._x_shape
+        pad, stride, kh, kw = self.pad, self.stride, self.kh, self.kw
+        dct = scratch("~dct", (n, kh, kw, oh, ow, c), grad.dtype)
+        np.copyto(dct, dcols.reshape(n, oh, ow, kh, kw, c).transpose(0, 3, 4, 1, 2, 5))
+        dx = scratch("~dx", (n, h, w, c), grad.dtype)
+        dx.fill(0.0)
+
+        def clip(offset: int, limit: int, count: int) -> tuple[int, int, int]:
+            """First source index, first interior index, and run length of
+            the scatter positions ``offset + r*stride`` inside [0, limit)."""
+            s0 = 0 if offset >= 0 else (-offset + stride - 1) // stride
+            d0 = offset + s0 * stride
+            if d0 >= limit:
+                return s0, d0, 0
+            return s0, d0, min((limit - 1 - d0) // stride + 1, count - s0)
+
+        for i in range(kh):
+            for j in range(kw):
+                ri, di, nr = clip(i - pad, h, oh)
+                rj, dj, nc = clip(j - pad, w, ow)
+                if nr <= 0 or nc <= 0:
+                    continue
+                dst = dx[
+                    :,
+                    di : di + nr * stride : stride,
+                    dj : dj + nc * stride : stride,
+                    :,
+                ]
+                np.add(dst, dct[:, i, j, ri : ri + nr, rj : rj + nc, :], out=dst)
+        return dx
 
     @property
     def params(self) -> list[Parameter]:

@@ -27,6 +27,8 @@ class GRU(Layer):
     ``(N, H)``; ``True`` emits ``(N, T, H)``.
     """
 
+    _cache_attrs = ("_x", "_cache")
+
     def __init__(
         self,
         input_dim: int,

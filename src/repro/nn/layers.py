@@ -22,13 +22,37 @@ class Layer:
     - :attr:`params` lists trainable parameters in a fixed order; this order
       defines the layout of the model's flat weight vector, so it must be
       stable across calls.
+
+    Layers that additionally implement the fused-plan kernel protocol
+    (optional ``out=``/``scratch=`` keyword parameters writing results into
+    arena-provided buffers, see :mod:`repro.nn.plan`) set
+    :attr:`plan_aware` to True; every planned operation must be the
+    ``out=`` form of exactly the legacy operation so both paths stay
+    bit-identical. :attr:`_cache_attrs` names the attributes forward caches
+    for backward; :meth:`release_caches` drops them so long-lived replicas
+    stop pinning last-batch activations between rounds.
     """
+
+    #: True when forward/backward accept ``out``/``scratch`` kwargs.
+    plan_aware = False
+    #: True when backward reads the layer's own *output* values (e.g.
+    #: Tanh/Sigmoid cache their output for the derivative). The plan must
+    #: not let the next layer overwrite such a layer's output buffer.
+    plan_backward_needs_output = False
+    #: Attributes set by forward and consumed by backward.
+    _cache_attrs: tuple[str, ...] = ()
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         raise NotImplementedError
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
         raise NotImplementedError
+
+    def release_caches(self) -> None:
+        """Drop forward caches (activations, masks) held for backward."""
+        for name in self._cache_attrs:
+            if hasattr(self, name):
+                delattr(self, name)
 
     @property
     def params(self) -> list[Parameter]:
@@ -44,6 +68,9 @@ class Dense(Layer):
     Accepts input of shape ``(N, in_features)`` or ``(N, T, in_features)``
     (the time-distributed case used by the language model head).
     """
+
+    plan_aware = True
+    _cache_attrs = ("_x",)
 
     def __init__(
         self,
@@ -61,21 +88,56 @@ class Dense(Layer):
         self.w = Parameter(w, f"{name}.w")
         self.b = Parameter(initializers.zeros((out_features,)), f"{name}.b")
 
-    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+    def forward(
+        self, x: np.ndarray, training: bool = False, *, out=None, scratch=None
+    ) -> np.ndarray:
         self._x = x
-        return x @ self.w.data + self.b.data
+        if out is None and scratch is not None:
+            out = scratch(
+                "y",
+                x.shape[:-1] + (self.w.data.shape[1],),
+                np.result_type(x.dtype, self.w.data.dtype),
+            )
+        if out is None:
+            return x @ self.w.data + self.b.data
+        np.matmul(x, self.w.data, out=out)
+        np.add(out, self.b.data, out=out)
+        return out
 
-    def backward(self, grad: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad: np.ndarray, *, out=None, scratch=None, input_grad: bool = True
+    ) -> np.ndarray | None:
         x = self._x
         if x.ndim == 2:
-            self.w.grad += x.T @ grad
-            self.b.grad += grad.sum(axis=0)
+            flat_x, flat_g = x, grad
         else:  # time-distributed: collapse leading axes
             flat_x = x.reshape(-1, x.shape[-1])
             flat_g = grad.reshape(-1, grad.shape[-1])
+        if scratch is None:
             self.w.grad += flat_x.T @ flat_g
             self.b.grad += flat_g.sum(axis=0)
-        return grad @ self.w.data.T
+            if not input_grad:
+                return None
+            if out is None:
+                return grad @ self.w.data.T
+            np.matmul(grad, self.w.data.T, out=out)
+            return out
+        # "~"-named scratch is arena-wide shared (dead within this step);
+        # gx stays per-layer — it is live until the next backward consumes it.
+        gw = scratch("~gw", self.w.data.shape, self.w.grad.dtype)
+        np.matmul(flat_x.T, flat_g, out=gw)
+        self.w.grad += gw
+        gb = scratch("~gb", self.b.data.shape, self.b.grad.dtype)
+        # np.sum delegates to add.reduce; calling it directly skips the
+        # dispatch wrapper (identical reduction, identical bits).
+        np.add.reduce(flat_g, axis=0, out=gb)
+        self.b.grad += gb
+        if not input_grad:
+            return None
+        if out is None:
+            out = scratch("gx", x.shape, grad.dtype)
+        np.matmul(grad, self.w.data.T, out=out)
+        return out
 
     @property
     def params(self) -> list[Parameter]:
@@ -84,6 +146,8 @@ class Dense(Layer):
 
 class Flatten(Layer):
     """Collapse all axes after the batch axis."""
+
+    _cache_attrs = ("_shape",)
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._shape = x.shape
@@ -99,6 +163,8 @@ class Dropout(Layer):
     A dedicated RNG stream keeps the dropout mask sequence reproducible and
     independent of other stochastic components.
     """
+
+    _cache_attrs = ("_mask",)
 
     def __init__(self, rate: float, *, rng: np.random.Generator):
         if not 0.0 <= rate < 1.0:
@@ -152,6 +218,7 @@ class BatchNorm(Layer):
     #: Running statistics accumulate across training calls, so replicas
     #: diverge from a shared instance (classic FL BN-state caveat).
     replica_safe = False
+    _cache_attrs = ("_std", "_xhat")
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         if training:

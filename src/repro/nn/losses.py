@@ -15,7 +15,17 @@ LOG_EPS = 1e-12
 
 
 class Loss:
-    """Base loss: ``forward(pred, target) -> float``; ``backward() -> dpred``."""
+    """Base loss: ``forward(pred, target) -> float``; ``backward() -> dpred``.
+
+    Losses implementing the fused-plan kernel protocol (optional
+    ``scratch``/``out`` parameters writing into arena buffers, see
+    :mod:`repro.nn.plan`) set :attr:`plan_aware`; :attr:`_cache_attrs`
+    names state cached between forward and backward, dropped by
+    :meth:`release_caches`.
+    """
+
+    plan_aware = False
+    _cache_attrs: tuple[str, ...] = ()
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
         raise NotImplementedError
@@ -23,35 +33,81 @@ class Loss:
     def backward(self) -> np.ndarray:
         raise NotImplementedError
 
+    def release_caches(self) -> None:
+        """Drop forward caches held for backward."""
+        for name in self._cache_attrs:
+            if hasattr(self, name):
+                delattr(self, name)
+
 
 class SoftmaxCrossEntropy(Loss):
     """Mean cross-entropy over integer class labels, fused with softmax.
 
     The fused formulation gives the numerically exact gradient
     ``(p - onehot(y)) / N`` without materializing log-probabilities twice.
+    The planned path (``scratch``) runs the identical softmax op chain —
+    max, subtract, exp, sum, divide — as ``out=`` writes into arena
+    buffers, so it is bit-identical to the allocating form.
     """
 
-    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+    plan_aware = True
+    _cache_attrs = ("_probs", "_labels")
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray, *, scratch=None) -> float:
         labels = np.asarray(labels).reshape(-1)
         if logits.ndim != 2:
             raise ValueError(f"logits must be 2-D (N, C), got shape {logits.shape}")
         if labels.shape[0] != logits.shape[0]:
             raise ValueError("batch size mismatch between logits and labels")
         n = logits.shape[0]
-        probs = softmax(logits)
+        if scratch is None:
+            probs = softmax(logits)
+            rows = np.arange(n)
+        else:
+            # np.max/np.sum delegate to maximum.reduce/add.reduce; calling
+            # the ufunc methods directly skips the dispatch wrappers
+            # (identical reductions, identical bits).
+            m = scratch("max", (n, 1), logits.dtype)
+            np.maximum.reduce(logits, axis=-1, keepdims=True, out=m)
+            probs = scratch("probs", logits.shape, logits.dtype)
+            np.subtract(logits, m, out=probs)
+            np.exp(probs, out=probs)
+            s = scratch("sum", (n, 1), logits.dtype)
+            np.add.reduce(probs, axis=-1, keepdims=True, out=s)
+            np.divide(probs, s, out=probs)
+            rows = self._row_index(n, scratch)
         self._probs = probs
         self._labels = labels
-        return float(-np.log(probs[np.arange(n), labels] + LOG_EPS).mean())
+        return float(-np.log(probs[rows, labels] + LOG_EPS).mean())
 
-    def backward(self) -> np.ndarray:
+    @staticmethod
+    def _row_index(n: int, scratch) -> np.ndarray:
+        """Arena-cached ``arange(n)`` (prefix views of a grown buffer stay
+        valid because arange prefixes are arange)."""
+        rows = scratch("rows", (n,), np.intp)
+        if n and rows[-1] != n - 1:
+            rows[:] = np.arange(n)
+        return rows
+
+    def backward(self, *, out=None, scratch=None) -> np.ndarray:
         n = self._probs.shape[0]
-        grad = self._probs.copy()
-        grad[np.arange(n), self._labels] -= 1.0
-        return grad / n
+        if out is None and scratch is not None:
+            out = scratch("grad", self._probs.shape, self._probs.dtype)
+        if out is None:
+            grad = self._probs.copy()
+            grad[np.arange(n), self._labels] -= 1.0
+            return grad / n
+        rows = np.arange(n) if scratch is None else self._row_index(n, scratch)
+        np.copyto(out, self._probs)
+        out[rows, self._labels] -= 1.0
+        np.divide(out, n, out=out)
+        return out
 
 
 class MSELoss(Loss):
     """Mean squared error (used by theory checks on quadratic objectives)."""
+
+    _cache_attrs = ("_diff",)
 
     def forward(self, pred: np.ndarray, target: np.ndarray) -> float:
         self._diff = pred - target

@@ -106,6 +106,8 @@ class Sequential:
         self._use_store = DEFAULT_FLAT_STORE if use_flat_store is None else use_flat_store
         self._dtype = np.dtype(dtype)
         self._store: FlatParameterStore | None = None
+        #: Compiled TrainingPlans keyed by loss object (None = forward-only).
+        self._plans: dict = {}
         if self._use_store:
             self._attach_store()
 
@@ -133,6 +135,7 @@ class Sequential:
         if dtype == self._dtype:
             return self
         self._dtype = dtype
+        self._plans.clear()  # plans cache the store; recompile at new dtype
         if self._use_store:
             self._attach_store()  # casts current values into the new buffer
         else:
@@ -149,6 +152,7 @@ class Sequential:
     def __getstate__(self):
         state = self.__dict__.copy()
         state["_store"] = None
+        state["_plans"] = {}  # plans hold arena buffers; recompile on restore
         return state
 
     def __setstate__(self, state):
@@ -249,6 +253,36 @@ class Sequential:
             return
         for p in self.params:
             p.zero_grad()
+
+    def release_caches(self) -> None:
+        """Drop every layer's forward caches (activations, masks, columns).
+
+        Long-lived worker replicas otherwise pin their last batch's
+        activations between rounds; the fused training plan calls this at
+        the end of every :meth:`~repro.nn.plan.TrainingPlan.run_epochs`.
+        """
+        for layer in self.layers:
+            layer.release_caches()
+
+    # ------------------------------------------------------------------ #
+    # Fused training plans
+    # ------------------------------------------------------------------ #
+    def training_plan(self, loss: Loss | None = None):
+        """The compiled :class:`~repro.nn.plan.TrainingPlan` for ``loss``.
+
+        Compiled once per ``(model, loss)`` pair and cached — the plan owns
+        the scratch arena reused across every batch of every round this
+        model trains (``loss=None`` compiles a forward-only plan, the
+        chunked evaluator's case). The cache is invalidated by
+        :meth:`astype` and never survives pickling/cloning.
+        """
+        plan = self._plans.get(loss)
+        if plan is None:
+            from repro.nn.plan import TrainingPlan
+
+            plan = TrainingPlan(self, loss)
+            self._plans[loss] = plan
+        return plan
 
     # ------------------------------------------------------------------ #
     # Training / evaluation

@@ -32,26 +32,43 @@ class ProximalTerm:
         self.lam = lam
         self._ref: list[np.ndarray] | None = None
         self._ref_flat: np.ndarray | None = None
+        self._scratch: np.ndarray | None = None
 
     def set_reference(self, weights: list[np.ndarray]) -> None:
         """Snapshot the global model the local updates are constrained to."""
         self._ref = [np.array(w, copy=True) for w in weights]
         self._ref_flat = None
+        self._scratch = None
+
+    def set_reference_flat(self, store: FlatParameterStore) -> None:
+        """Snapshot the reference as one memcpy of a store's flat buffer.
+
+        The fused-plan fast path: equivalent to :meth:`set_reference` over
+        the store's parameters (the flat buffer *is* their concatenation)
+        without the per-parameter copies.
+        """
+        self._ref = None
+        self._ref_flat = np.array(store.data, copy=True)
+        self._scratch = np.empty_like(self._ref_flat)
 
     def penalty(self, params: list[Parameter]) -> float:
         """Value of ``λ/2 ‖w − w_ref‖²`` (for loss reporting/tests)."""
-        if self.lam == 0.0 or self._ref is None:
+        if self.lam == 0.0 or (self._ref is None and self._ref_flat is None):
             return 0.0
-        sq = 0.0
-        for p, r in zip(params, self._ref):
-            diff = p.data - r
-            sq += float(np.dot(diff.ravel(), diff.ravel()))
-        return 0.5 * self.lam * sq
+        if self._ref is not None:
+            sq = 0.0
+            for p, r in zip(params, self._ref):
+                diff = p.data - r
+                sq += float(np.dot(diff.ravel(), diff.ravel()))
+            return 0.5 * self.lam * sq
+        flat = np.concatenate([np.asarray(p.data).reshape(-1) for p in params])
+        diff = flat - self._ref_flat
+        return 0.5 * self.lam * float(np.dot(diff, diff))
 
     def __call__(self, params: list[Parameter]) -> None:
-        if self.lam == 0.0 or self._ref is None:
+        if self.lam == 0.0 or (self._ref is None and self._ref_flat is None):
             return
-        if len(params) != len(self._ref):
+        if self._ref is not None and len(params) != len(self._ref):
             raise ValueError("reference weights do not match parameter list")
         store = FlatParameterStore.of(params)
         if store is not None:
@@ -59,7 +76,24 @@ class ProximalTerm:
                 self._ref_flat = np.concatenate(
                     [np.asarray(r, dtype=store.dtype).reshape(-1) for r in self._ref]
                 )
+            if self._scratch is not None and self._scratch.size == store.total:
+                # Fused-plan fast path (set_reference_flat): the identical
+                # elementwise op chain through a persistent scratch buffer.
+                s = self._scratch
+                np.subtract(store.data, self._ref_flat, out=s)
+                np.multiply(s, self.lam, out=s)
+                store.grad += s
+                return
             store.grad += self.lam * (store.data - self._ref_flat)
             return
+        if self._ref is None:
+            # Flat-only reference but no covering store (the parameters
+            # were re-laid-out since the snapshot): split it back out.
+            self._ref, pos = [], 0
+            for p in params:
+                self._ref.append(
+                    self._ref_flat[pos : pos + p.size].reshape(p.shape).copy()
+                )
+                pos += p.size
         for p, r in zip(params, self._ref):
             p.grad += self.lam * (p.data - r)

@@ -19,6 +19,8 @@ __all__ = ["Embedding", "LSTM"]
 class Embedding(Layer):
     """Token-id lookup table: (N, T) int -> (N, T, D) float."""
 
+    _cache_attrs = ("_ids",)
+
     def __init__(
         self,
         vocab_size: int,
@@ -59,6 +61,8 @@ class LSTM(Layer):
     output, candidate). Forget-gate bias is initialized to 1, the standard
     trick for gradient flow early in training.
     """
+
+    _cache_attrs = ("_x", "_hs", "_cs", "_gates")
 
     def __init__(
         self,

@@ -79,14 +79,14 @@ class ClippedOptimizer(Optimizer):
         self.max_norm = max_norm
         self.last_norm: float | None = None
 
-    def step(self, params: list[Parameter], store=None) -> None:
+    def step(self, params: list[Parameter], store=None, scratch=None) -> None:
         norm = global_grad_norm(params)
         self.last_norm = norm
         if norm > self.max_norm:
             scale = self.max_norm / (norm + 1e-12)
             for p in params:
                 p.grad *= scale
-        self.inner.step(params, store=store)
+        self.inner.step(params, store=store, scratch=scratch)
 
     def reset_state(self) -> None:
         self.inner.reset_state()

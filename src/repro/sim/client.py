@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.data.batching import FixedBatchSchedule
 from repro.data.federated import ClientData
+from repro.nn import plan as plan_mod
 from repro.nn.losses import Loss
 from repro.nn.model import Sequential
 from repro.nn.optimizers import Optimizer
@@ -116,6 +117,12 @@ class SimClient:
         parallel executor relies on for bit-identical histories. Without it,
         the client's stateful schedule advances as before.
 
+        By default the ``epochs x batches`` loop runs inside the model's
+        compiled :class:`~repro.nn.plan.TrainingPlan` (one Python frame per
+        batch, arena-reused buffers) — bit-identical to the unfused loop,
+        which :data:`repro.nn.plan.DEFAULT_TRAINING_PLAN` re-enables for
+        the perf benchmarks' comparison baseline.
+
         Returns the new flat weights; the worker model is left holding them
         (callers must not rely on worker state across clients).
         """
@@ -124,26 +131,45 @@ class SimClient:
         worker.set_flat_weights(global_flat)
         optimizer = optimizer_factory()
         prox = ProximalTerm(lam)
+        use_plan = plan_mod.DEFAULT_TRAINING_PLAN
         if lam > 0:
-            prox.set_reference([p.data for p in worker.params])
+            if use_plan and worker.store is not None:
+                # One memcpy of the store buffer == the per-parameter
+                # snapshot (parameters are views of that buffer).
+                prox.set_reference_flat(worker.store)
+            else:
+                prox.set_reference([p.data for p in worker.params])
         hook = prox if lam > 0 else None
 
         x, y = self.data.x_train, self.data.y_train
-        losses: list[float] = []
-        if start_epoch is None:
-            batches = (
-                idx for _ in range(epochs) for idx in self.schedule.next_epoch()
+        if use_plan:
+            # Fused path: the whole epochs x batches loop in one call. The
+            # stateful-schedule case replays from the current cursor, then
+            # fast-forwards it — exactly what consuming the generator does.
+            first = (
+                self.schedule.epochs_consumed if start_epoch is None else start_epoch
             )
+            mean_loss = worker.training_plan(loss).run_epochs(
+                x, y, self.schedule, first, epochs, optimizer, grad_hook=hook
+            )
+            self.schedule.advance_to(first + epochs)
         else:
-            batches = self.schedule.epochs(start_epoch, epochs)
-        for batch_idx in batches:
-            losses.append(
-                worker.train_on_batch(
-                    x[batch_idx], y[batch_idx], loss, optimizer, grad_hook=hook
+            losses: list[float] = []
+            if start_epoch is None:
+                batches = (
+                    idx for _ in range(epochs) for idx in self.schedule.next_epoch()
                 )
-            )
-        if start_epoch is not None:
-            self.schedule.advance_to(start_epoch + epochs)
+            else:
+                batches = self.schedule.epochs(start_epoch, epochs)
+            for batch_idx in batches:
+                losses.append(
+                    worker.train_on_batch(
+                        x[batch_idx], y[batch_idx], loss, optimizer, grad_hook=hook
+                    )
+                )
+            if start_epoch is not None:
+                self.schedule.advance_to(start_epoch + epochs)
+            mean_loss = float(np.mean(losses))
         if latency is None:
             if rng is None:
                 raise ValueError("provide either latency or rng")
@@ -152,6 +178,6 @@ class SimClient:
             client_id=self.client_id,
             weights=worker.get_flat_weights(),
             n_samples=self.n_train,
-            train_loss=float(np.mean(losses)),
+            train_loss=mean_loss,
             latency=float(latency),
         )

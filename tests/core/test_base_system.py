@@ -39,6 +39,50 @@ class TestTransfers:
         assert not np.array_equal(received, s.global_weights)
         np.testing.assert_allclose(received, s.global_weights, atol=5.1e-5)
 
+    def test_send_down_encodes_once_per_global_version(self, tiny_bow_dataset):
+        """Repeated launches of an unchanged global model reuse the encoded
+        payload; a new global model (rebinding the attribute) re-encodes.
+        Metering stays per receiver throughout."""
+        s = _system(tiny_bow_dataset, cls=FedAT, compression="polyline:4")
+        calls = []
+        original = s.codec.encode
+        s.codec.encode = lambda flat: calls.append(1) or original(flat)
+
+        first = s.send_down(s.global_weights, n_receivers=2)
+        second = s.send_down(s.global_weights, n_receivers=3)
+        assert len(calls) == 1  # cache hit on the unchanged model
+        assert second is first  # the shared decoded array itself
+        assert not second.flags.writeable  # consumers must copy, not mutate
+        assert s.meter.downlink_messages == 5  # metering unaffected
+
+        s.global_weights = s.global_weights * 1.0  # rebind = new version
+        third = s.send_down(s.global_weights, n_receivers=1)
+        assert len(calls) == 2
+        np.testing.assert_array_equal(third, first)  # same weights, same bytes
+
+    def test_send_down_cache_ignores_foreign_arrays(self, tiny_bow_dataset):
+        """Only the global-weights object is cached: an unrelated vector
+        passed between launches neither reuses nor poisons the cache."""
+        s = _system(tiny_bow_dataset, cls=FedAT, compression="polyline:4")
+        a = s.send_down(s.global_weights)
+        other = np.linspace(-1, 1, s.worker.num_params)
+        b = s.send_down(other)
+        assert not np.array_equal(a, b)
+        c = s.send_down(s.global_weights)
+        np.testing.assert_array_equal(a, c)
+
+    def test_send_down_never_caches_stateful_codecs(self, tiny_bow_dataset):
+        """The subsample sketch draws a fresh random mask per encode; the
+        cache must not freeze the mask or skip the RNG draws (regression
+        test: cached sends would silently change subsample histories)."""
+        s = _system(tiny_bow_dataset, cls=FedAT, compression="subsample:0.25")
+        assert not s.codec.deterministic
+        a = s.send_down(s.global_weights)
+        b = s.send_down(s.global_weights)  # same version, fresh mask
+        assert not np.array_equal(a, b)
+        assert s._downlink_cache is None
+        assert s.meter.downlink_messages == 2
+
 
 class TestSelection:
     def test_sample_without_replacement(self, tiny_bow_dataset):

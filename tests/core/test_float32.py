@@ -34,6 +34,33 @@ def test_float32_run_is_deterministic():
     assert a.to_dict()["records"] == b.to_dict()["records"]
 
 
+def test_float32_plan_and_unfused_paths_both_run(monkeypatch):
+    """The fused training plan is on by default; the reduced-precision
+    path must complete under both the plan and the unfused loop, with
+    deterministic (per-path) results. Bitwise cross-path identity is only
+    contracted at float64 — the unfused float32 loop silently promotes the
+    max-pool tie gradient to float64, which the plan's dtype-stable
+    kernels do not replicate — so across paths we assert closeness."""
+    import repro.nn.plan as plan_mod
+
+    kwargs = dict(scale="tiny", seed=3, max_rounds=4, eval_every=1, dtype="float32")
+
+    monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", True)
+    planned = run_experiment("fedat", "sentiment140", **kwargs)
+    planned_again = run_experiment("fedat", "sentiment140", **kwargs)
+    monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", False)
+    unfused = run_experiment("fedat", "sentiment140", **kwargs)
+
+    assert planned.to_dict()["records"] == planned_again.to_dict()["records"]
+    assert np.all(np.isfinite(planned.accuracies()))
+    np.testing.assert_allclose(
+        planned.losses(), unfused.losses(), rtol=1e-4, atol=1e-5
+    )
+    np.testing.assert_allclose(
+        planned.accuracies(), unfused.accuracies(), atol=0.05
+    )
+
+
 def test_flat_store_roundtrip_preserves_float32_exactly():
     dataset = build_federation(
         "sentiment140", "tiny", 0, num_clients=4, samples_per_client=12

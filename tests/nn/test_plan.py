@@ -1,0 +1,478 @@
+"""Fused training plan: bit-identity to the unfused loop, arena hygiene.
+
+The whole contract in one file:
+
+1. kernel equivalence — every planned (``out=``/``scratch=``) layer and
+   loss kernel produces bitwise the legacy allocating result, including
+   the awkward cases (time-distributed Dense, 'valid' convolutions,
+   cropped and tied max-pooling);
+2. loop equivalence — ``SimClient.local_train`` through
+   ``TrainingPlan.run_epochs`` reproduces the unfused per-batch loop
+   byte for byte, for CNN and MLP models, ragged final batches, multiple
+   epochs, stateful and explicit-cursor schedules, and full FL histories;
+3. arena hygiene — scratch reuse never aliases or mutates caller-owned
+   arrays (hypothesis-driven), buffers stop growing after the first
+   round, and layer caches are released between rounds;
+4. fallbacks — models with non-planned layers (LSTM, dropout, batch
+   norm) run through the plan's generic steps with identical results,
+   and plans never survive pickling/cloning/astype.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.nn.plan as plan_mod
+from repro.data.datasets import make_dataset
+from repro.exec import OptimizerSpec
+from repro.metrics.evaluation import Evaluator
+from repro.nn.activations import ReLU, Sigmoid, Tanh
+from repro.nn.conv import Conv2D
+from repro.nn.layers import Dense
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.plan import ScratchArena, TrainingPlan
+from repro.nn.pooling import MaxPool2D
+from repro.nn.zoo import build_cnn, build_lstm_classifier, build_mlp
+from repro.sim.client import SimClient
+
+
+def _cnn(rng=None, shape=(8, 8, 3)):
+    return build_cnn(
+        shape, 10, rng=rng or np.random.default_rng(1), filters=(4, 6, 6), dense_units=12
+    )
+
+
+def _image_dataset(num_clients=3, samples=16, shape=(8, 8, 3)):
+    return make_dataset(
+        "cifar10",
+        np.random.default_rng(0),
+        num_clients=num_clients,
+        samples_per_client=samples,
+        image_shape=shape,
+        classes_per_client=2,
+    )
+
+
+# --------------------------------------------------------------------- #
+# 1. Planned kernels == legacy kernels, layer by layer
+# --------------------------------------------------------------------- #
+class TestKernelEquivalence:
+    def _roundtrip(self, legacy, planned, x, grad, training=True):
+        """forward+backward both ways; assert bitwise equality."""
+        arena = ScratchArena()
+        slot = arena.slot(0)
+        y_legacy = legacy.forward(x.copy(), training=training)
+        y_planned = planned.forward(x.copy(), training=training, scratch=slot)
+        np.testing.assert_array_equal(y_legacy, y_planned)
+        g_legacy = legacy.backward(grad.copy())
+        g_planned = planned.backward(grad.copy(), scratch=slot)
+        np.testing.assert_array_equal(g_legacy, g_planned)
+
+    def test_dense_2d(self):
+        rng = np.random.default_rng(0)
+        a = Dense(6, 4, rng=np.random.default_rng(1))
+        b = Dense(6, 4, rng=np.random.default_rng(1))
+        self._roundtrip(a, b, rng.normal(size=(7, 6)), rng.normal(size=(7, 4)))
+        np.testing.assert_array_equal(a.w.grad, b.w.grad)
+        np.testing.assert_array_equal(a.b.grad, b.b.grad)
+
+    def test_dense_time_distributed(self):
+        rng = np.random.default_rng(0)
+        a = Dense(5, 3, rng=np.random.default_rng(1))
+        b = Dense(5, 3, rng=np.random.default_rng(1))
+        self._roundtrip(a, b, rng.normal(size=(4, 6, 5)), rng.normal(size=(4, 6, 3)))
+        np.testing.assert_array_equal(a.w.grad, b.w.grad)
+
+    @pytest.mark.parametrize("padding", ["same", "valid"])
+    def test_conv(self, padding):
+        rng = np.random.default_rng(0)
+        a = Conv2D(3, 5, 3, padding=padding, rng=np.random.default_rng(1))
+        b = Conv2D(3, 5, 3, padding=padding, rng=np.random.default_rng(1))
+        x = rng.normal(size=(4, 6, 6, 3))
+        out_spatial = 6 if padding == "same" else 4
+        g = rng.normal(size=(4, out_spatial, out_spatial, 5))
+        self._roundtrip(a, b, x, g)
+        np.testing.assert_array_equal(a.w.grad, b.w.grad)
+        np.testing.assert_array_equal(a.b.grad, b.b.grad)
+
+    @pytest.mark.parametrize("cls", [ReLU, Tanh, Sigmoid])
+    def test_activations(self, cls):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 9))
+        self._roundtrip(cls(), cls(), x, rng.normal(size=(5, 9)))
+
+    def test_activation_inplace_out(self):
+        """out=x (the plan's in-place mode) gives the same values."""
+        rng = np.random.default_rng(0)
+        for cls in (ReLU, Tanh, Sigmoid):
+            x = rng.normal(size=(4, 7))
+            ref = cls().forward(x.copy(), training=True)
+            arena = ScratchArena()
+            buf = x.copy()
+            got = cls().forward(buf, training=True, scratch=arena.slot(0), out=buf)
+            assert got is buf
+            np.testing.assert_array_equal(ref, got)
+
+    @pytest.mark.parametrize(
+        "hw", [(6, 6), (7, 7)], ids=["even", "cropped"]
+    )
+    def test_maxpool_float(self, hw):
+        rng = np.random.default_rng(0)
+        h, w = hw
+        x = rng.normal(size=(3, h, w, 4))
+        g = rng.normal(size=(3, h // 2, w // 2, 4))
+        self._roundtrip(MaxPool2D(2), MaxPool2D(2), x, g)
+
+    def test_maxpool_ties(self):
+        """Integer-valued inputs force ties; the tie branch must match."""
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 2, size=(3, 6, 6, 4)).astype(np.float64)
+        g = rng.normal(size=(3, 3, 3, 4))
+        self._roundtrip(MaxPool2D(2), MaxPool2D(2), x, g)
+
+    def test_maxpool_post_relu_zeros(self):
+        """Post-ReLU activations tie on exact zeros constantly — the
+        regime the pool backward's tied branch actually runs in."""
+        rng = np.random.default_rng(0)
+        x = np.maximum(rng.normal(size=(3, 6, 6, 4)), 0.0)
+        g = rng.normal(size=(3, 3, 3, 4))
+        self._roundtrip(MaxPool2D(2), MaxPool2D(2), x, g)
+
+    def test_loss(self):
+        rng = np.random.default_rng(0)
+        logits = rng.normal(size=(9, 5))
+        labels = rng.integers(0, 5, size=9)
+        a, b = SoftmaxCrossEntropy(), SoftmaxCrossEntropy()
+        arena = ScratchArena()
+        slot = arena.slot("loss")
+        assert a.forward(logits, labels) == b.forward(logits, labels, scratch=slot)
+        np.testing.assert_array_equal(a.backward(), b.backward(scratch=slot))
+
+    def test_input_grad_skip_leaves_param_grads_intact(self):
+        rng = np.random.default_rng(0)
+        a = Conv2D(3, 4, 3, rng=np.random.default_rng(1))
+        b = Conv2D(3, 4, 3, rng=np.random.default_rng(1))
+        x = rng.normal(size=(2, 6, 6, 3))
+        g = rng.normal(size=(2, 6, 6, 4))
+        arena = ScratchArena()
+        a.forward(x, training=True)
+        a.backward(g)
+        b.forward(x, training=True, scratch=arena.slot(0))
+        assert b.backward(g, scratch=arena.slot(0), input_grad=False) is None
+        np.testing.assert_array_equal(a.w.grad, b.w.grad)
+        np.testing.assert_array_equal(a.b.grad, b.b.grad)
+
+
+# --------------------------------------------------------------------- #
+# 2. Loop equivalence: run_epochs == the unfused per-batch loop
+# --------------------------------------------------------------------- #
+def _train_once(use_plan, builder, dataset, *, epochs=2, batch_size=10, lam=0.4,
+                optimizer=("adam", 0.005), start_epoch=None, monkeypatch=None):
+    monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", use_plan)
+    model = builder(np.random.default_rng(1))
+    loss = SoftmaxCrossEntropy()
+    spec = OptimizerSpec(*optimizer)
+    flat = model.get_flat_weights()
+    out = []
+    for c in dataset.clients:
+        client = SimClient(c, None, batch_size=batch_size, seed=0)
+        res = client.local_train(
+            model, flat, epochs=epochs, loss=loss, optimizer_factory=spec.build,
+            lam=lam, latency=1.0, start_epoch=start_epoch,
+        )
+        out.append(res)
+        flat = res.weights
+    return out
+
+
+class TestLoopEquivalence:
+    @pytest.mark.parametrize("kind", ["cnn", "mlp"])
+    @pytest.mark.parametrize("batch_size", [10, 7], ids=["even", "ragged"])
+    def test_local_train_bit_identical(self, kind, batch_size, monkeypatch):
+        if kind == "cnn":
+            builder = _cnn
+            ds = _image_dataset()
+        else:
+            builder = lambda rng: build_mlp(64, 3, rng=rng, hidden=(16,))  # noqa: E731
+            ds = make_dataset(
+                "sentiment140", np.random.default_rng(0),
+                num_clients=3, samples_per_client=17,
+            )
+        a = _train_once(True, builder, ds, batch_size=batch_size, monkeypatch=monkeypatch)
+        b = _train_once(False, builder, ds, batch_size=batch_size, monkeypatch=monkeypatch)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.weights, rb.weights)
+            assert ra.train_loss == rb.train_loss
+
+    def test_sgd_momentum_and_explicit_cursor(self, monkeypatch):
+        ds = _image_dataset(num_clients=2)
+        kwargs = dict(optimizer=("sgd", 0.05), start_epoch=3, epochs=2)
+        a = _train_once(True, _cnn, ds, monkeypatch=monkeypatch, **kwargs)
+        b = _train_once(False, _cnn, ds, monkeypatch=monkeypatch, **kwargs)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.weights, rb.weights)
+
+    def test_stateful_schedule_cursor_advances_identically(self, monkeypatch):
+        ds = _image_dataset(num_clients=1)
+        client_data = ds.clients[0]
+        for use_plan in (True, False):
+            monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", use_plan)
+            model = _cnn()
+            client = SimClient(client_data, None, batch_size=10, seed=0)
+            flat = model.get_flat_weights()
+            loss, spec = SoftmaxCrossEntropy(), OptimizerSpec("adam", 0.005)
+            client.local_train(
+                model, flat, epochs=2, loss=loss,
+                optimizer_factory=spec.build, latency=1.0,
+            )
+            assert client.schedule.epochs_consumed == 2
+
+    def test_stacked_activations_bit_identical(self, monkeypatch):
+        """Tanh/Sigmoid backward reads its cached output, so the plan must
+        not let a following activation overwrite that buffer in place —
+        regression test for the stacked-activation in-place hazard."""
+        from repro.nn.model import Sequential
+
+        ds = make_dataset(
+            "sentiment140", np.random.default_rng(0),
+            num_clients=2, samples_per_client=15,
+        )
+
+        def builder(rng):
+            return Sequential(
+                [
+                    Dense(64, 12, rng=rng, name="fc1"),
+                    Sigmoid(),
+                    ReLU(),
+                    Dense(12, 8, rng=rng, name="fc2"),
+                    Tanh(),
+                    Tanh(),
+                    Dense(8, 3, rng=rng, name="head"),
+                ],
+                name="stacked",
+            )
+
+        a = _train_once(True, builder, ds, epochs=2, monkeypatch=monkeypatch)
+        b = _train_once(False, builder, ds, epochs=2, monkeypatch=monkeypatch)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.weights, rb.weights)
+            assert ra.train_loss == rb.train_loss
+
+    def test_generic_fallback_model(self, monkeypatch):
+        """LSTM + dropout + batch-norm layers take the generic (unplanned)
+        steps inside the compiled plan; results must still match exactly."""
+        ds = make_dataset(
+            "reddit", np.random.default_rng(0), num_clients=2, samples_per_client=12
+        )
+
+        def builder(rng):
+            return build_lstm_classifier(
+                64, 64, rng=rng, embed_dim=8, hidden_dim=8, dropout=0.1
+            )
+
+        a = _train_once(True, builder, ds, epochs=1, monkeypatch=monkeypatch)
+        b = _train_once(False, builder, ds, epochs=1, monkeypatch=monkeypatch)
+        for ra, rb in zip(a, b):
+            np.testing.assert_array_equal(ra.weights, rb.weights)
+            assert ra.train_loss == rb.train_loss
+
+    def test_fedat_history_bit_identical_plan_on_off(self, tiny_bow_dataset, monkeypatch):
+        """End to end: a FedAT run (compression, tiers, eval) with the plan
+        on reproduces the plan-off history byte for byte."""
+        import dataclasses
+
+        from repro.core.config import FLConfig
+        from repro.core.fedat import FedAT
+        from repro.experiments.config import build_model_builder
+
+        def run(use_plan):
+            monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", use_plan)
+            config = FLConfig(
+                clients_per_round=4, local_epochs=2, max_rounds=8, eval_every=2,
+                num_tiers=3, num_unstable=2, seed=0, compression="polyline:4",
+            )
+            return FedAT(
+                tiny_bow_dataset, build_model_builder(tiny_bow_dataset, "tiny"), config
+            ).run()
+
+        on, off = run(True), run(False)
+        assert len(on.records) == len(off.records)
+        for a, b in zip(on.records, off.records):
+            assert dataclasses.asdict(a) == dataclasses.asdict(b)
+
+    def test_evaluator_plan_matches_model_forward(self, monkeypatch):
+        ds = _image_dataset(num_clients=3)
+        model = _cnn()
+        flat = model.get_flat_weights()
+
+        monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", True)
+        with_plan = Evaluator(ds, model, eval_batch_size=13).evaluate_flat(flat)
+        monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", False)
+        without = Evaluator(ds, model, eval_batch_size=13).evaluate_flat(flat)
+        assert with_plan == without
+
+
+# --------------------------------------------------------------------- #
+# 3. Arena hygiene
+# --------------------------------------------------------------------- #
+class TestArenaHygiene:
+    @given(
+        batch_size=st.integers(min_value=1, max_value=9),
+        epochs=st.integers(min_value=1, max_value=3),
+        n_samples=st.integers(min_value=3, max_value=15),
+        lam=st.sampled_from([0.0, 0.4]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_arena_never_aliases_or_mutates_caller_arrays(
+        self, batch_size, epochs, n_samples, lam
+    ):
+        """Property: whatever the batch geometry, caller-owned inputs are
+        only read, and the returned weights are an owned copy sharing no
+        memory with the arena or the store."""
+        ds = make_dataset(
+            "sentiment140", np.random.default_rng(0),
+            num_clients=1, samples_per_client=n_samples,
+        )
+        model = build_mlp(64, 3, rng=np.random.default_rng(1), hidden=(8,))
+        client = SimClient(ds.clients[0], None, batch_size=batch_size, seed=0)
+        flat = model.get_flat_weights()
+        x_before = client.data.x_train.copy()
+        y_before = client.data.y_train.copy()
+        flat_before = flat.copy()
+        res = client.local_train(
+            model, flat, epochs=epochs, loss=SoftmaxCrossEntropy(),
+            optimizer_factory=OptimizerSpec("adam", 0.005).build,
+            lam=lam, latency=1.0,
+        )
+        np.testing.assert_array_equal(client.data.x_train, x_before)
+        np.testing.assert_array_equal(client.data.y_train, y_before)
+        np.testing.assert_array_equal(flat, flat_before)
+        assert res.weights.base is None  # owned, not a view
+        for p in model._plans.values():
+            assert not p.arena.owns(res.weights)
+        assert not np.shares_memory(res.weights, model.store.data)
+
+    def test_arena_stops_growing_after_first_round(self, monkeypatch):
+        monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", True)
+        ds = _image_dataset(num_clients=2)
+        model = _cnn()
+        loss, spec = SoftmaxCrossEntropy(), OptimizerSpec("adam", 0.005)
+        flat = model.get_flat_weights()
+        clients = [SimClient(c, None, batch_size=10, seed=0) for c in ds.clients]
+        for c in clients:
+            c.local_train(
+                model, flat, epochs=1, loss=loss,
+                optimizer_factory=spec.build, latency=1.0,
+            )
+        plan = model.training_plan(loss)
+        nbytes_after_first_sweep = plan.arena.nbytes
+        for _ in range(3):
+            for c in clients:
+                c.local_train(
+                    model, flat, epochs=1, loss=loss,
+                    optimizer_factory=spec.build, latency=1.0,
+                )
+        assert plan.arena.nbytes == nbytes_after_first_sweep
+
+    def test_view_cache_survives_ragged_batches(self):
+        arena = ScratchArena()
+        full = arena.take("k", (10, 4), np.float64)
+        ragged = arena.take("k", (6, 4), np.float64)
+        assert ragged.base is full  # prefix view of the full buffer
+        assert arena.take("k", (6, 4), np.float64) is ragged  # cached view
+        grown = arena.take("k", (12, 4), np.float64)
+        assert grown.shape == (12, 4)
+        assert not np.shares_memory(grown, full)  # old buffer replaced
+
+    def test_shared_scratch_pool_reuses_one_buffer(self):
+        arena = ScratchArena()
+        a = arena.slot(0)("~x", (4, 3), np.float64)
+        b = arena.slot(5)("~x", (2, 6), np.float64)
+        assert np.shares_memory(a, b)
+        c = arena.slot(1)("~x", (5, 5), np.float64)  # grows
+        assert c.size == 25
+
+    def test_run_epochs_releases_layer_caches(self, monkeypatch):
+        monkeypatch.setattr(plan_mod, "DEFAULT_TRAINING_PLAN", True)
+        ds = _image_dataset(num_clients=1)
+        model = _cnn()
+        client = SimClient(ds.clients[0], None, batch_size=10, seed=0)
+        client.local_train(
+            model, model.get_flat_weights(), epochs=1,
+            loss=SoftmaxCrossEntropy(),
+            optimizer_factory=OptimizerSpec("adam", 0.005).build, latency=1.0,
+        )
+        for layer in model.layers:
+            for attr in layer._cache_attrs:
+                assert not hasattr(layer, attr), (
+                    f"{type(layer).__name__}.{attr} still pinned after run_epochs"
+                )
+
+
+# --------------------------------------------------------------------- #
+# 4. Plan lifecycle
+# --------------------------------------------------------------------- #
+class TestPlanLifecycle:
+    def test_plan_cached_per_loss(self):
+        model = _cnn()
+        loss = SoftmaxCrossEntropy()
+        assert model.training_plan(loss) is model.training_plan(loss)
+        assert model.training_plan(None) is not model.training_plan(loss)
+
+    def test_pickle_and_clone_drop_plans(self):
+        model = _cnn()
+        model.training_plan(SoftmaxCrossEntropy())
+        assert model._plans
+        assert not pickle.loads(pickle.dumps(model))._plans
+        assert not model.clone()._plans
+
+    def test_astype_invalidates_plans(self):
+        model = _cnn()
+        plan = model.training_plan(None)
+        model.astype(np.float32)
+        assert model._plans == {}
+        fresh = model.training_plan(None)
+        assert fresh is not plan
+
+    def test_plan_forward_matches_model_forward(self):
+        model = _cnn()
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(5, 8, 8, 3))
+        plan = model.training_plan(None)
+        np.testing.assert_array_equal(
+            model.forward(x, training=False), plan.forward(x, training=False)
+        )
+
+    def test_forward_only_plan_refuses_training(self):
+        model = _cnn()
+        plan = model.training_plan(None)
+        ds = _image_dataset(num_clients=1)
+        client = SimClient(ds.clients[0], None, batch_size=10, seed=0)
+        with pytest.raises(ValueError, match="without a loss"):
+            plan.run_epochs(
+                client.data.x_train, client.data.y_train, client.schedule,
+                0, 1, OptimizerSpec("adam", 0.005).build(),
+            )
+
+    def test_float32_plan_close_to_unfused_and_deterministic(self, monkeypatch):
+        """At float32 the unfused max-pool tie branch silently promotes the
+        gradient to float64 (``f32 / int64`` counts), which the plan's
+        dtype-stable kernels deliberately do not replicate — so the paths
+        agree to float32 round-off rather than bitwise (the hard bitwise
+        contract is float64). The plan path itself must be deterministic."""
+        ds = _image_dataset(num_clients=2)
+
+        def builder(rng):
+            return _cnn(rng).astype(np.float32)
+
+        a = _train_once(True, builder, ds, epochs=1, monkeypatch=monkeypatch)
+        b = _train_once(False, builder, ds, epochs=1, monkeypatch=monkeypatch)
+        a2 = _train_once(True, builder, ds, epochs=1, monkeypatch=monkeypatch)
+        for ra, rb, ra2 in zip(a, b, a2):
+            assert ra.weights.dtype == np.float32
+            assert np.all(np.isfinite(ra.weights))
+            np.testing.assert_allclose(ra.weights, rb.weights, atol=1e-5, rtol=1e-4)
+            np.testing.assert_array_equal(ra.weights, ra2.weights)  # deterministic

@@ -183,6 +183,48 @@ class TestFlatOptimizerSteps:
         assert out.dtype == np.float32  # activations cast at the door
 
 
+class TestMemoryBehavior:
+    """Worker replicas must not pin per-batch arrays between rounds."""
+
+    def _one_round(self, model, client, flat):
+        from repro.exec import OptimizerSpec
+
+        return client.local_train(
+            model,
+            flat,
+            epochs=1,
+            loss=SoftmaxCrossEntropy(),
+            optimizer_factory=OptimizerSpec("adam", 0.005).build,
+            latency=1.0,
+        )
+
+    def test_plan_releases_forward_caches_between_rounds(self):
+        """After a planned round no layer holds activation caches (the
+        unfused path pins each layer's last-batch tensors until the next
+        round touches it — for idle replicas, indefinitely)."""
+        from repro.data.datasets import make_dataset
+        from repro.sim.client import SimClient
+
+        ds = make_dataset(
+            "sentiment140", np.random.default_rng(0),
+            num_clients=1, samples_per_client=12,
+        )
+        model = build_mlp(64, 3, rng=np.random.default_rng(1), hidden=(16,))
+        client = SimClient(ds.clients[0], None, batch_size=5, seed=0)
+        self._one_round(model, client, model.get_flat_weights())
+        for layer in model.layers:
+            for attr in layer._cache_attrs:
+                assert not hasattr(layer, attr), (
+                    f"{type(layer).__name__}.{attr} pinned between rounds"
+                )
+        # ... and the scratch arena is bounded: more rounds, same bytes.
+        plan = next(iter(model._plans.values()))
+        first = plan.arena.nbytes
+        for _ in range(3):
+            self._one_round(model, client, model.get_flat_weights())
+        assert plan.arena.nbytes == first
+
+
 _BUDGETS = {FedAT: 10, FedAvg: 4}
 
 
