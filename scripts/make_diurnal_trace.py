@@ -1,0 +1,123 @@
+"""Generate a synthetic diurnal availability/latency trace.
+
+Usage::
+
+    python scripts/make_diurnal_trace.py --out tests/fixtures/traces/diurnal_tiny.csv
+    python scripts/make_diurnal_trace.py --clients 64 --days 3 --out big.json
+
+Models the day/night rhythm of phone-style clients (after FLGo's phone
+simulator, which derives per-client availability from mobile-usage ping
+logs): each client lives in a timezone-like phase, goes *offline* during
+its busy daytime window (the phone is in use / off charger), is slowed by a
+daytime latency multiplier around the edges of that window, and enjoys the
+full link only at night. Emitted times are fractions of the run horizon in
+``[0, 1]`` — the format ``trace:<path>`` scenarios consume (see
+``repro.scenario.engine.load_trace_events``).
+
+The committed CI fixture (``tests/fixtures/traces/diurnal_tiny.csv``) is
+the default invocation, so it can be regenerated reproducibly at any time:
+the generator is deterministic for a given ``(clients, days, seed)``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import csv
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.scenario.engine import load_trace_events  # noqa: E402
+
+DEFAULT_OUT = REPO / "tests" / "fixtures" / "traces" / "diurnal_tiny.csv"
+
+
+def make_diurnal_rows(
+    clients: int, days: int, seed: int, *, day_slowdown: float = 3.0
+) -> list[dict]:
+    """Rows of one diurnal trace: ``{client, time, kind, value}`` dicts.
+
+    Per client and simulated day: a ``speed`` slowdown when its morning
+    starts, a ``leave`` during its busiest stretch, a ``join`` when the
+    workday ends, and a ``speed`` reset at night. Phases are drawn once per
+    client so the population's offline windows stagger like timezones.
+    """
+    rng = np.random.default_rng(seed)
+    rows: list[dict] = []
+    for cid in range(clients):
+        phase = float(rng.uniform(0.0, 1.0))  # timezone offset, in days
+        work = float(rng.uniform(0.25, 0.45))  # offline stretch, in days
+        slowdown = float(rng.uniform(1.5, day_slowdown))
+        for day in range(days):
+            morning = day + (phase % 1.0)
+            busy_start = morning + 0.05
+            busy_end = busy_start + work
+            night = min(busy_end + 0.10, day + 1.0 + (phase % 1.0))
+            for t, kind, value in (
+                (morning, "speed", slowdown),
+                (busy_start, "leave", None),
+                (busy_end, "join", None),
+                (night, "speed", 1.0),
+            ):
+                frac = t / days
+                if frac > 1.0:
+                    continue  # the last day's tail can run past the horizon
+                rows.append(
+                    {
+                        "client": cid,
+                        "time": round(frac, 6),
+                        "kind": kind,
+                        "value": "" if value is None else round(value, 4),
+                    }
+                )
+    rows.sort(key=lambda r: (r["time"], r["client"]))
+    return rows
+
+
+def write_trace(rows: list[dict], out: Path) -> None:
+    out.parent.mkdir(parents=True, exist_ok=True)
+    if out.suffix.lower() == ".json":
+        events = [
+            {k: (None if r["value"] == "" else r[k]) if k == "value" else r[k]
+             for k in ("client", "time", "kind", "value")}
+            for r in rows
+        ]
+        out.write_text(json.dumps({"events": events}, indent=2) + "\n")
+    else:
+        with out.open("w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=["client", "time", "kind", "value"])
+            writer.writeheader()
+            writer.writerows(rows)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--clients", type=int, default=16)
+    parser.add_argument("--days", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--day-slowdown", type=float, default=3.0,
+                        help="upper bound of the daytime latency multiplier")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=".csv or .json (format follows the suffix)")
+    args = parser.parse_args(argv)
+    if args.clients < 1 or args.days < 1:
+        parser.error("--clients and --days must be >= 1")
+
+    rows = make_diurnal_rows(
+        args.clients, args.days, args.seed, day_slowdown=args.day_slowdown
+    )
+    write_trace(rows, args.out)
+    # Round-trip through the engine loader: the committed fixture must
+    # always be loadable exactly as written.
+    events = load_trace_events(args.out, args.clients, horizon=1.0)
+    print(f"wrote {args.out} ({len(rows)} rows, {len(events)} loadable events)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -75,6 +75,17 @@ CONFIGS: dict[str, dict] = {
             "retier_interval": 4,
         },
     },
+    "fedat_composed": {
+        "method": "fedat",
+        "dataset": "sentiment140",
+        "scale": "tiny",
+        "seed": 7,
+        "fl_overrides": {
+            "max_rounds": 10,
+            "eval_every": 2,
+            "scenario": "churn:0.2+bwdrift:2.0",
+        },
+    },
 }
 
 

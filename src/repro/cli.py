@@ -66,7 +66,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "bandwidth; float64 keeps bit-identical histories)")
     run_p.add_argument("--scenario", default=None,
                        help='dynamic-world scenario, e.g. "static", "churn", '
-                       '"drift:0.5", "burst", "chaos"')
+                       '"drift:0.5", "burst", "chaos", "bwheal:4", a "+"-'
+                       'composition like "churn:0.2+bwdrift:2", or a trace '
+                       'replay "trace:<csv-or-json-path>"')
     run_p.add_argument("--retier-interval", type=int, default=None,
                        help="rounds between online re-tiers for fedat/tifl "
                        "(0 = static tiers)")
@@ -104,7 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--methods", default="fedat,tifl,fedavg",
                          help="comma-separated method names")
     sweep_p.add_argument("--scenarios", default="static,churn,drift",
-                         help="comma-separated scenario specs")
+                         help="comma-separated scenario specs (compositions "
+                         'like "churn:0.2+bwdrift:2" and "trace:<path>" '
+                         "replays are specs too)")
     sweep_p.add_argument("--seeds", default="1",
                          help='"N" for seeds 0..N-1, or an explicit list "0,3,7"')
     sweep_p.add_argument("--dataset", default="sentiment140")
@@ -332,7 +336,8 @@ def _cmd_list(_args: argparse.Namespace) -> int:
 
     print("methods  :", ", ".join(sorted(ALGORITHMS)))
     print("datasets :", ", ".join(sorted(DATASETS)))
-    print("scenarios:", ", ".join(scenario_names()))
+    print("scenarios:", ", ".join(scenario_names()),
+          '(composable with "+", plus "trace:<path>" replays)')
     print("scales   : tiny, bench, paper (REPRO_SCALE also honoured by benches)")
     return 0
 

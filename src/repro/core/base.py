@@ -105,10 +105,13 @@ class FLSystem:
         self.delay_model = delay_model
 
         # Dynamic-world scenario: churn windows, speed drift, bursts, late
-        # arrivals, and bandwidth drift compiled once from an env-named RNG
-        # stream (identical across methods for a given seed). A static
-        # scenario has no events and every hook below short-circuits,
-        # keeping histories bit-identical to the scenario-free simulator.
+        # arrivals, bandwidth drift/heal, trace replays, and "+"-composed
+        # combinations, compiled once from an env-named RNG stream
+        # (identical across methods for a given seed; each family draws a
+        # deterministic substream, so composition never perturbs a family's
+        # standalone timeline). A static scenario has no events and every
+        # hook below short-circuits, keeping histories bit-identical to the
+        # scenario-free simulator.
         horizon = config.max_time if config.max_time is not None else config.dropout_horizon
         self.scenario = ScenarioEngine.compile(
             parse_scenario(config.scenario),
@@ -174,6 +177,7 @@ class FLSystem:
                 "clients_per_round": config.clients_per_round,
                 "local_epochs": config.local_epochs,
                 "compression": config.compression if self.uses_compression else None,
+                "scenario": config.scenario,
             },
         )
         self._latency_rng = self.factory.rng("env/latency")

@@ -47,9 +47,12 @@ class FLConfig:
     eval_batch_size: int = 256
 
     # --- environment ------------------------------------------------------#
-    # Dynamic-world scenario: a preset name with optional argument, e.g.
-    # "churn", "drift:0.5", "burst:3", "chaos" (see repro.scenario). None or
-    # "static" leaves runs bit-identical to the scenario-free simulator.
+    # Dynamic-world scenario: a preset name with optional argument ("churn",
+    # "drift:0.5", "burst:3", "bwheal:4"), a "+"-composition running several
+    # families in one world ("churn:0.2+bwdrift:2" — each family's timeline
+    # is bit-identical to its standalone run), or a recorded trace replay
+    # ("trace:traces/diurnal.csv"). See repro.scenario. None or "static"
+    # leaves runs bit-identical to the scenario-free simulator.
     scenario: str | None = None
     seed: int = 0
     num_unstable: int = 10

@@ -339,6 +339,18 @@ def _ordered(values: list[str], preference: list[str]) -> list[str]:
     return ordered + [v for v in present if v not in ordered]
 
 
+def _scenario_label(scenario: str) -> str:
+    """Short axis label for a scenario string.
+
+    Trace scenarios carry a whole file path; label them by the file's stem
+    (``trace:diurnal_tiny``). Composed scenarios keep their grammar form —
+    the full string stays in tooltips and the emitted JSON either way.
+    """
+    if scenario.startswith("trace:"):
+        return f"trace:{Path(scenario[len('trace:'):]).stem}"
+    return scenario
+
+
 def scenario_matrix(path: str | Path) -> dict:
     """Aggregate sweep checkpoints into method×scenario comparison data.
 
@@ -491,7 +503,7 @@ def render_grouped_bars_svg(
         parts.append(
             f'<text x="{gx + group_w / 2:.1f}" y="{baseline + 16}" '
             f'font-size="10" text-anchor="middle" '
-            f'fill="{_TEXT_SECONDARY}">{scenario}</text>'
+            f'fill="{_TEXT_SECONDARY}">{_scenario_label(scenario)}</text>'
         )
     parts.append(
         f'<line x1="{margin_l}" y1="{baseline}" x2="{width - margin_r}" '

@@ -80,7 +80,11 @@ class SweepCell:
 
     @property
     def cell_id(self) -> str:
-        scenario = self.scenario.replace(":", "-").replace("/", "-")
+        # Scenario strings may carry composition ('+'), knob (':'), and
+        # trace-path ('/', '\\') characters; flatten them all for filenames.
+        scenario = self.scenario
+        for ch in ":/\\+":
+            scenario = scenario.replace(ch, "-")
         return f"{self.method}__{scenario}__s{self.seed}"
 
 

@@ -1,16 +1,21 @@
-"""Dynamic-scenario subsystem: churn, speed drift, burst stragglers.
+"""Dynamic-scenario subsystem: churn, drift, bursts, traces, compositions.
 
 Specs (:mod:`repro.scenario.spec`) declare *how much* dynamism a run sees;
 the engine (:mod:`repro.scenario.engine`) compiles a spec into per-client
 timelines every :class:`~repro.core.base.FLSystem` consults as virtual time
-advances. A static scenario compiles to zero events and leaves histories
-bit-identical to runs without any scenario attached.
+advances. Scenario strings compose (``"churn:0.2+bwdrift:2"``) with each
+family drawing from its own deterministic RNG substream, and
+``"trace:<path>"`` replays recorded timelines from CSV/JSON files. A static
+scenario compiles to zero events and leaves histories bit-identical to runs
+without any scenario attached.
 """
 
-from repro.scenario.engine import ScenarioEngine, ScenarioEvent
+from repro.scenario.engine import ScenarioEngine, ScenarioEvent, load_trace_events
 from repro.scenario.spec import (
     SCENARIO_PRESETS,
+    ComposedSpec,
     ScenarioSpec,
+    TraceSpec,
     parse_scenario,
     scenario_names,
 )
@@ -19,7 +24,10 @@ __all__ = [
     "ScenarioEngine",
     "ScenarioEvent",
     "ScenarioSpec",
+    "TraceSpec",
+    "ComposedSpec",
     "SCENARIO_PRESETS",
+    "load_trace_events",
     "parse_scenario",
     "scenario_names",
 ]

@@ -1,14 +1,14 @@
 """Scenario engine: compiled, queryable time-varying client behavior.
 
 A :class:`ScenarioEngine` turns a :class:`~repro.scenario.spec.ScenarioSpec`
-(or an explicit event list) into per-client timelines that any
+(atomic, composed, or trace-driven) into per-client timelines that any
 :class:`~repro.core.base.FLSystem` can query as its virtual clock advances:
 
 - ``is_available(cid, t)`` — churn/arrival: is the client online at ``t``?
 - ``available_throughout(cid, start, end)`` — does it stay online for a
   whole local round?
 - ``latency_multiplier(cid, t)`` — speed drift × burst stragglers.
-- ``bandwidth_scale(cid, t)`` — bandwidth drift: the fraction of the
+- ``bandwidth_scale(cid, t)`` — bandwidth drift/heal: the fraction of the
   client's nominal link bandwidth still available (drives the
   finite-bandwidth transfer term in :mod:`repro.sim.latency`).
 - ``arrival_time(cid)`` / ``late_arrivals()`` — population growth: a
@@ -20,20 +20,32 @@ Compilation pushes every raw event through the simulator's
 deterministic insertion order (the same tie-break every system run uses),
 and the resulting timelines are pure functions of time — queries never
 mutate state, so out-of-order lookups are safe.
+
+Composition determinism: each scenario family draws its events from a
+deterministically derived RNG *substream* — the compile-time RNG yields one
+base entropy block (the same single draw for any dynamic spec), and the
+substream key hashes the family name plus its occurrence index. A family's
+timeline is therefore bit-identical whether the family runs standalone or
+inside any ``+``-composition, and adding a family to a composition never
+perturbs the others.
 """
 
 from __future__ import annotations
 
+import csv
+import hashlib
+import json
 import math
 from bisect import bisect_right
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
-from repro.scenario.spec import ScenarioSpec
+from repro.scenario.spec import ComposedSpec, ScenarioSpec, TraceSpec
 from repro.sim.events import EventQueue
 
-__all__ = ["ScenarioEvent", "ScenarioEngine"]
+__all__ = ["ScenarioEvent", "ScenarioEngine", "load_trace_events"]
 
 #: Event kinds understood by the engine.
 EVENT_KINDS = ("leave", "join", "speed", "burst_on", "burst_off", "arrive", "bandwidth")
@@ -49,12 +61,18 @@ class ScenarioEvent:
     ``arrive`` marks when a late client joins the population (it is absent
     before this time); ``bandwidth`` sets the client's bandwidth scale to
     ``value`` (absolute fraction of its nominal link).
+
+    ``episode`` identifies which burst episode a ``burst_on``/``burst_off``
+    pair belongs to, so overlapping bursts from different families pop the
+    right entry even when their factors coincide. ``None`` (hand-built
+    event lists) falls back to popping by factor value.
     """
 
     time: float
     kind: str
     client_id: int
     value: float = 1.0
+    episode: int | None = None
 
     def __post_init__(self):
         if self.kind not in EVENT_KINDS:
@@ -63,6 +81,131 @@ class ScenarioEvent:
             raise ValueError(f"event time must be >= 0, got {self.time}")
         if self.value <= 0:
             raise ValueError(f"event value must be positive, got {self.value}")
+
+
+# --------------------------------------------------------------------- #
+# Trace files
+# --------------------------------------------------------------------- #
+def load_trace_events(
+    path: str | Path, num_clients: int, horizon: float
+) -> list[ScenarioEvent]:
+    """Load a ``trace:<path>`` file into a :class:`ScenarioEvent` list.
+
+    Two formats are accepted, keyed by file suffix:
+
+    - **CSV** (anything not ``.json``): a header row then one event per
+      line, columns ``client,time,kind[,value]``.
+    - **JSON**: either a top-level list of event objects or
+      ``{"events": [...]}``, each object with keys ``client``, ``time``,
+      ``kind``, and optional ``value``.
+
+    Columns/keys:
+
+    - ``client`` — integer client id. Rows addressing clients outside the
+      run's population are skipped, so one trace serves every scale
+      (unlisted clients are simply always available at full speed).
+    - ``time`` — **fraction of the run horizon in [0, 1]** (like every
+      other scenario time), scaled to virtual seconds at compile time.
+    - ``kind`` — one of ``leave``/``join``/``speed``/``bandwidth``/
+      ``arrive``/``burst_on``/``burst_off``.
+    - ``value`` — event value (latency multiplier for ``speed``, link
+      fraction for ``bandwidth``); defaults to 1.0.
+
+    Example rows::
+
+        client,time,kind,value
+        0,0.25,leave,
+        0,0.60,join,
+        1,0.25,speed,3.5
+        2,0.40,bandwidth,0.25
+    """
+    p = Path(path)
+    if not p.is_file():
+        raise FileNotFoundError(f"scenario trace file not found: {str(path)!r}")
+    if p.suffix.lower() == ".json":
+        payload = json.loads(p.read_text())
+        rows = payload.get("events") if isinstance(payload, dict) else payload
+        if not isinstance(rows, list):
+            raise ValueError(
+                f"{p}: JSON traces must be a list of events or {{'events': [...]}}"
+            )
+    else:
+        with p.open(newline="") as fh:
+            reader = csv.DictReader(fh)
+            fields = set(reader.fieldnames or ())
+            missing = {"client", "time", "kind"} - fields
+            if missing:
+                raise ValueError(
+                    f"{p}: trace CSV is missing columns {sorted(missing)} "
+                    "(expected header client,time,kind[,value])"
+                )
+            rows = list(reader)
+
+    events: list[ScenarioEvent] = []
+    for i, row in enumerate(rows):
+        where = f"{p}: trace row {i + 1}"
+        try:
+            cid = int(row["client"])
+            t = float(row["time"])
+            kind = str(row["kind"]).strip()
+            raw = row.get("value")
+            value = 1.0 if raw in (None, "") else float(raw)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ValueError(f"{where}: malformed event ({exc})") from None
+        if kind not in EVENT_KINDS:
+            raise ValueError(
+                f"{where}: unknown event kind {kind!r}; options: {EVENT_KINDS}"
+            )
+        if not 0.0 <= t <= 1.0:
+            raise ValueError(
+                f"{where}: trace times are fractions of the horizon "
+                f"in [0, 1], got {t}"
+            )
+        if cid < 0:
+            raise ValueError(f"{where}: client id must be >= 0, got {cid}")
+        if cid >= num_clients:
+            continue  # trace covers a larger population than this run
+        events.append(ScenarioEvent(t * horizon, kind, cid, value))
+    return events
+
+
+# --------------------------------------------------------------------- #
+# Sampling helpers (shared pick convention)
+# --------------------------------------------------------------------- #
+def _pick_count(fraction: float, num_clients: int) -> int:
+    """Clients hit by a family: ``floor(fraction·n)``, at least 1 when the
+    fraction is positive.
+
+    The floor (with a tiny epsilon against binary-float shortfall, so
+    ``0.3 × 10`` counts as 3) is the documented convention for every
+    family; ``round()``'s banker's rounding made ``churn:0.5`` over 5
+    clients churn 2 and ``arrival:0.1`` over 5 clients arrive 0 late.
+    """
+    if fraction <= 0.0 or num_clients < 1:
+        return 0
+    k = int(math.floor(fraction * num_clients + 1e-9))
+    return max(1, min(k, num_clients))
+
+
+def _pick(
+    rng: np.random.Generator, fraction: float, num_clients: int
+) -> np.ndarray:
+    k = _pick_count(fraction, num_clients)
+    if k == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.sort(rng.choice(num_clients, size=k, replace=False))
+
+
+def _family_rng(base_entropy: list[int], family: str, occurrence: int) -> np.random.Generator:
+    """Deterministic substream for one (family, occurrence-in-composition).
+
+    Keyed by a hash of the family name (not draw order), so which *other*
+    families a composition contains never changes this family's stream;
+    ``occurrence`` separates repeated uses of one family (``churn:…+churn:…``).
+    """
+    digest = hashlib.sha256(f"{family}/{occurrence}".encode("utf-8")).digest()
+    key = [int.from_bytes(digest[i : i + 4], "little") for i in range(0, 16, 4)]
+    return np.random.default_rng(np.random.SeedSequence([*base_entropy, *key]))
 
 
 class ScenarioEngine:
@@ -97,13 +240,29 @@ class ScenarioEngine:
         bw_values: list[list[float]] = [[] for _ in range(num_clients)]
         arrival = [0.0] * num_clients
         drift = [1.0] * num_clients
-        bursts: list[list[float]] = [[] for _ in range(num_clients)]
+        #: Open burst episodes per client, as (episode id, factor) pairs in
+        #: push order — keyed pops keep overlapping same-factor episodes
+        #: from different families distinct.
+        bursts: list[list[tuple[int | None, float]]] = [[] for _ in range(num_clients)]
 
         def push_mult(cid: int, t: float) -> None:
             # Fresh product each time so a closed burst restores the drift
             # multiplier bit-exactly (empty product is exactly 1.0).
             mult_times[cid].append(t)
-            mult_values[cid].append(drift[cid] * math.prod(bursts[cid]))
+            mult_values[cid].append(
+                drift[cid] * math.prod(f for _, f in bursts[cid])
+            )
+
+        def pop_burst(cid: int, ev: ScenarioEvent) -> None:
+            stack = bursts[cid]
+            for i, (episode, factor) in enumerate(stack):
+                # Episode identity when the compiler stamped one; factor
+                # equality only for hand-built (episode-less) event lists.
+                if (ev.episode is not None and episode == ev.episode) or (
+                    ev.episode is None and factor == ev.value
+                ):
+                    del stack[i]
+                    return
 
         while not queue.empty:
             ev: ScenarioEvent = queue.pop().payload
@@ -119,11 +278,10 @@ class ScenarioEngine:
                 drift[cid] = ev.value
                 push_mult(cid, ev.time)
             elif ev.kind == "burst_on":
-                bursts[cid].append(ev.value)
+                bursts[cid].append((ev.episode, ev.value))
                 push_mult(cid, ev.time)
             elif ev.kind == "burst_off":
-                if ev.value in bursts[cid]:
-                    bursts[cid].remove(ev.value)
+                pop_burst(cid, ev)
                 push_mult(cid, ev.time)
             elif ev.kind == "arrive":
                 arrival[cid] = ev.time  # queue-ordered: the last event wins
@@ -151,7 +309,7 @@ class ScenarioEngine:
     @classmethod
     def compile(
         cls,
-        spec: ScenarioSpec,
+        spec: ScenarioSpec | TraceSpec | ComposedSpec,
         num_clients: int,
         horizon: float,
         rng: np.random.Generator,
@@ -160,72 +318,120 @@ class ScenarioEngine:
 
         Deterministic given ``(spec, num_clients, horizon, rng state)``; a
         static spec draws nothing from ``rng``, so enabling scenarios never
-        perturbs other named RNG streams.
+        perturbs other named RNG streams. Every dynamic spec consumes
+        exactly one base-entropy draw from ``rng``; all family events come
+        from name-keyed substreams (see module docstring), so a family's
+        timeline is invariant under composition.
         """
         if horizon <= 0:
             raise ValueError("horizon must be positive")
+        parts = spec.parts
         events: list[ScenarioEvent] = []
-        if spec.is_static:
+        if all(part.is_static for part in parts):
             return cls(num_clients, events, name=spec.name)
 
-        def pick(fraction: float) -> np.ndarray:
-            k = int(round(fraction * num_clients))
-            if k == 0:
-                return np.empty(0, dtype=np.int64)
-            return np.sort(rng.choice(num_clients, size=k, replace=False))
+        base_entropy = [int(v) for v in rng.integers(0, 2**32, size=4)]
+        occurrences: dict[str, int] = {}
+        #: Burst episodes numbered across the whole composition, so every
+        #: burst_on/off pair carries a unique identity.
+        episode = 0
 
-        # Churn: alternating offline/online stretches per churning client.
-        for cid in pick(spec.churn_fraction).tolist():
-            t = float(rng.uniform(*spec.churn_first_leave)) * horizon
-            while t < horizon:
-                events.append(ScenarioEvent(t, "leave", cid))
-                t += float(rng.uniform(*spec.churn_offline)) * horizon
-                if t >= horizon:
-                    break
-                events.append(ScenarioEvent(t, "join", cid))
-                t += float(rng.uniform(*spec.churn_online)) * horizon
+        def family_rng(family: str) -> np.random.Generator:
+            occ = occurrences.get(family, 0)
+            occurrences[family] = occ + 1
+            return _family_rng(base_entropy, family, occ)
 
-        # Drift: stratified step times, compounding slowdown factors.
-        if spec.drift_steps > 0:
-            for cid in pick(spec.drift_fraction).tolist():
-                mult = 1.0
-                for step in range(spec.drift_steps):
-                    t = (step + float(rng.uniform(0.0, 1.0))) / spec.drift_steps
-                    mult *= float(rng.uniform(*spec.drift_factor))
-                    events.append(ScenarioEvent(t * horizon, "speed", cid, mult))
+        for part in parts:
+            if part.is_static:
+                continue  # a static atom inside a composition is a no-op
+            if isinstance(part, TraceSpec):
+                events.extend(load_trace_events(part.path, num_clients, horizon))
+                continue
 
-        # Bursts: episodes that slow a random subset for a short window.
-        for _ in range(spec.burst_count):
-            t0 = float(rng.uniform(0.05, 0.85)) * horizon
-            dur = float(rng.uniform(*spec.burst_duration)) * horizon
-            for cid in pick(spec.burst_fraction).tolist():
-                events.append(ScenarioEvent(t0, "burst_on", cid, spec.burst_factor))
-                events.append(
-                    ScenarioEvent(t0 + dur, "burst_off", cid, spec.burst_factor)
+            # Churn: alternating offline/online stretches per churning client.
+            if part.churn_fraction > 0.0:
+                frng = family_rng("churn")
+                for cid in _pick(frng, part.churn_fraction, num_clients).tolist():
+                    t = float(frng.uniform(*part.churn_first_leave)) * horizon
+                    while t < horizon:
+                        events.append(ScenarioEvent(t, "leave", cid))
+                        t += float(frng.uniform(*part.churn_offline)) * horizon
+                        if t >= horizon:
+                            break
+                        events.append(ScenarioEvent(t, "join", cid))
+                        t += float(frng.uniform(*part.churn_online)) * horizon
+
+            # Drift: stratified step times, compounding slowdown factors.
+            if part.drift_fraction > 0.0 and part.drift_steps > 0:
+                frng = family_rng("drift")
+                for cid in _pick(frng, part.drift_fraction, num_clients).tolist():
+                    mult = 1.0
+                    for step in range(part.drift_steps):
+                        t = (step + float(frng.uniform(0.0, 1.0))) / part.drift_steps
+                        mult *= float(frng.uniform(*part.drift_factor))
+                        events.append(ScenarioEvent(t * horizon, "speed", cid, mult))
+
+            # Bursts: episodes that slow a random subset for a short window.
+            if part.burst_count > 0 and part.burst_fraction > 0.0:
+                frng = family_rng("burst")
+                for _ in range(part.burst_count):
+                    t0 = float(frng.uniform(0.05, 0.85)) * horizon
+                    dur = float(frng.uniform(*part.burst_duration)) * horizon
+                    for cid in _pick(frng, part.burst_fraction, num_clients).tolist():
+                        events.append(
+                            ScenarioEvent(
+                                t0, "burst_on", cid, part.burst_factor, episode=episode
+                            )
+                        )
+                        events.append(
+                            ScenarioEvent(
+                                t0 + dur,
+                                "burst_off",
+                                cid,
+                                part.burst_factor,
+                                episode=episode,
+                            )
+                        )
+                    episode += 1
+
+            # Arrivals: late clients join inside the arrival window. At
+            # least one client always founds the federation at t=0.
+            if part.arrival_fraction > 0.0:
+                frng = family_rng("arrival")
+                k = min(
+                    _pick_count(part.arrival_fraction, num_clients), num_clients - 1
                 )
+                if k > 0:
+                    late = np.sort(frng.choice(num_clients, size=k, replace=False))
+                    for cid in late.tolist():
+                        t = float(frng.uniform(*part.arrival_window)) * horizon
+                        events.append(ScenarioEvent(t, "arrive", cid))
 
-        # Arrivals: late clients join inside the arrival window. At least
-        # one client always founds the federation at t=0.
-        if spec.arrival_fraction > 0:
-            k = min(
-                int(round(spec.arrival_fraction * num_clients)), num_clients - 1
-            )
-            if k > 0:
-                late = np.sort(rng.choice(num_clients, size=k, replace=False))
-                for cid in late.tolist():
-                    t = float(rng.uniform(*spec.arrival_window)) * horizon
-                    events.append(ScenarioEvent(t, "arrive", cid))
+            # Bandwidth drift: stratified step times, compounding link
+            # divisors. The timeline carries absolute scales, so every value
+            # stays strictly positive no matter how many steps compound.
+            if part.bwdrift_fraction > 0.0 and part.bwdrift_steps > 0:
+                frng = family_rng("bwdrift")
+                for cid in _pick(frng, part.bwdrift_fraction, num_clients).tolist():
+                    scale = 1.0
+                    for step in range(part.bwdrift_steps):
+                        t = (step + float(frng.uniform(0.0, 1.0))) / part.bwdrift_steps
+                        scale /= float(frng.uniform(*part.bwdrift_factor))
+                        events.append(ScenarioEvent(t * horizon, "bandwidth", cid, scale))
 
-        # Bandwidth drift: stratified step times, compounding link divisors.
-        # The timeline carries absolute scales, so every value stays
-        # strictly positive no matter how many steps compound.
-        if spec.bwdrift_steps > 0:
-            for cid in pick(spec.bwdrift_fraction).tolist():
-                scale = 1.0
-                for step in range(spec.bwdrift_steps):
-                    t = (step + float(rng.uniform(0.0, 1.0))) / spec.bwdrift_steps
-                    scale /= float(rng.uniform(*spec.bwdrift_factor))
-                    events.append(ScenarioEvent(t * horizon, "bandwidth", cid, scale))
+            # Bandwidth heal: one degrade→restore episode per affected
+            # client — the first non-monotone bandwidth timeline. Values are
+            # absolute link fractions, so composing with bwdrift follows
+            # last-write-wins at each breakpoint.
+            if part.bwheal_fraction > 0.0 and part.bwheal_factor > 1.0:
+                frng = family_rng("bwheal")
+                for cid in _pick(frng, part.bwheal_fraction, num_clients).tolist():
+                    t0 = float(frng.uniform(*part.bwheal_start)) * horizon
+                    dur = float(frng.uniform(*part.bwheal_duration)) * horizon
+                    events.append(
+                        ScenarioEvent(t0, "bandwidth", cid, 1.0 / part.bwheal_factor)
+                    )
+                    events.append(ScenarioEvent(t0 + dur, "bandwidth", cid, 1.0))
 
         return cls(num_clients, events, name=spec.name)
 

@@ -6,17 +6,36 @@ drift slower over time, and how many burst-straggler episodes hit the
 population. All times are expressed as fractions of the run's virtual-time
 horizon so one spec scales from ``tiny`` to ``paper`` budgets unchanged.
 
+Scenario strings form a small grammar:
+
+- ``"name"`` or ``"name:arg"`` — one synthetic family, e.g. ``"churn:0.2"``;
+- ``"a+b+c"`` — a composition, e.g. ``"churn:0.2+bwdrift:4+arrival:0.05"``:
+  every family's events are drawn from its own deterministic RNG substream
+  and merged into one timeline (see ``ScenarioEngine.compile``), so
+  ``churn:0.2`` alone and inside any composition produces the identical
+  churn timeline;
+- ``"trace:<path>"`` — replay per-client availability/latency/bandwidth
+  timelines from a CSV/JSON trace file (see
+  :func:`repro.scenario.engine.load_trace_events` for the format).
+
 The spec is compiled into concrete, per-client events by
 :class:`repro.scenario.engine.ScenarioEngine`; this module is intentionally
-dependency-free so configuration code can validate scenario strings without
-pulling in the simulator.
+dependency-free (no file IO, no numpy) so configuration code can validate
+scenario strings without pulling in the simulator.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
-__all__ = ["ScenarioSpec", "SCENARIO_PRESETS", "parse_scenario", "scenario_names"]
+__all__ = [
+    "ScenarioSpec",
+    "TraceSpec",
+    "ComposedSpec",
+    "SCENARIO_PRESETS",
+    "parse_scenario",
+    "scenario_names",
+]
 
 
 @dataclass(frozen=True)
@@ -63,6 +82,15 @@ class ScenarioSpec:
     bwdrift_steps: int = 3  # bandwidth changes per drifting client
     bwdrift_factor: tuple[float, float] = (1.5, 3.0)  # per-step divisor
 
+    # --- bandwidth heal: links degrade, then restore --------------------- #
+    # The first recovery world: each affected client's bandwidth drops to
+    # 1/bwheal_factor of nominal for one episode and then heals back to the
+    # full link — a non-monotone bandwidth timeline.
+    bwheal_fraction: float = 0.0  # fraction of clients hit by an outage
+    bwheal_factor: float = 4.0  # link divisor while degraded (1 = no-op)
+    bwheal_start: tuple[float, float] = (0.1, 0.5)  # outage onset bounds
+    bwheal_duration: tuple[float, float] = (0.1, 0.3)  # outage length bounds
+
     def __post_init__(self):
         for field_name in (
             "churn_fraction",
@@ -70,6 +98,7 @@ class ScenarioSpec:
             "burst_fraction",
             "arrival_fraction",
             "bwdrift_fraction",
+            "bwheal_fraction",
         ):
             v = getattr(self, field_name)
             if not 0.0 <= v <= 1.0:
@@ -82,6 +111,8 @@ class ScenarioSpec:
             "burst_duration",
             "arrival_window",
             "bwdrift_factor",
+            "bwheal_start",
+            "bwheal_duration",
         ):
             lo, hi = getattr(self, field_name)
             if lo < 0 or hi < lo:
@@ -98,17 +129,80 @@ class ScenarioSpec:
             # A divisor below 1 would *improve* bandwidth each step,
             # silently inverting the documented degradation semantics.
             raise ValueError("bwdrift_factor bounds must be >= 1 (links only degrade)")
+        if self.bwheal_factor < 1.0:
+            raise ValueError("bwheal_factor must be >= 1 (outages only degrade)")
 
     @property
     def is_static(self) -> bool:
-        """True when the spec injects no dynamic behavior at all."""
+        """True when the spec injects no dynamic behavior at all.
+
+        Every family guard pairs its headline knob with the knob that could
+        zero it out (``drift_steps=0``, ``burst_fraction=0.0``, …): a spec
+        that cannot produce events must be exactly as static as the static
+        preset, so it never consumes scenario-RNG draws.
+        """
         return (
             self.churn_fraction == 0.0
             and (self.drift_fraction == 0.0 or self.drift_steps == 0)
-            and self.burst_count == 0
+            and (self.burst_count == 0 or self.burst_fraction == 0.0)
             and self.arrival_fraction == 0.0
             and (self.bwdrift_fraction == 0.0 or self.bwdrift_steps == 0)
+            and (self.bwheal_fraction == 0.0 or self.bwheal_factor == 1.0)
         )
+
+    @property
+    def parts(self) -> tuple["ScenarioSpec", ...]:
+        """Uniform access for the engine: an atomic spec is its own part."""
+        return (self,)
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """Replay a recorded per-client timeline instead of sampling one.
+
+    ``path`` names a CSV or JSON trace file; the engine loads it at compile
+    time (this module stays IO-free). Trace rows whose client id exceeds
+    the run's population are skipped, so one trace serves every scale.
+    """
+
+    path: str
+    name: str = "trace"
+
+    def __post_init__(self):
+        if not self.path:
+            raise ValueError("trace scenario needs a file path: trace:<path>")
+
+    @property
+    def is_static(self) -> bool:
+        # Whether the file holds events is unknowable without IO; treat a
+        # trace as dynamic and let the compiled engine short-circuit if the
+        # file turns out to be empty (engine.is_static is event-based).
+        return False
+
+    @property
+    def parts(self) -> tuple["TraceSpec", ...]:
+        return (self,)
+
+
+@dataclass(frozen=True)
+class ComposedSpec:
+    """A ``+``-composition of scenario families run in one world.
+
+    Each part keeps its own deterministic RNG substream at compile time, so
+    a family's timeline is bit-identical standalone and inside any
+    composition (asserted by ``tests/scenario``).
+    """
+
+    name: str
+    parts: tuple[ScenarioSpec | TraceSpec, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 1:
+            raise ValueError("a composed scenario needs at least one part")
+
+    @property
+    def is_static(self) -> bool:
+        return all(part.is_static for part in self.parts)
 
 
 #: Named scenario presets selectable from FLConfig / the CLI.
@@ -122,6 +216,7 @@ SCENARIO_PRESETS: dict[str, ScenarioSpec] = {
     ),
     "arrival": ScenarioSpec(name="arrival", arrival_fraction=0.4),
     "bwdrift": ScenarioSpec(name="bwdrift", bwdrift_fraction=0.4),
+    "bwheal": ScenarioSpec(name="bwheal", bwheal_fraction=0.4),
 }
 
 
@@ -129,24 +224,19 @@ def scenario_names() -> list[str]:
     return sorted(SCENARIO_PRESETS)
 
 
-def parse_scenario(text: str | None) -> ScenarioSpec:
-    """Parse ``"name"`` or ``"name:arg"`` into a :class:`ScenarioSpec`.
-
-    ``None``/``"none"`` mean static. The optional numeric argument overrides
-    the preset's headline knob: the churn/drift/arrival fraction, the burst
-    count, or the per-step bandwidth-degradation factor. Examples:
-    ``"churn:0.5"``, ``"drift:0.1"``, ``"burst:5"``, ``"arrival:0.6"``,
-    ``"bwdrift:2.0"`` (every step halves the client's bandwidth).
-    """
-    if text is None:
-        return SCENARIO_PRESETS["static"]
-    name, _, arg = str(text).strip().partition(":")
+def _parse_atom(text: str) -> ScenarioSpec | TraceSpec:
+    """Parse one ``name[:arg]`` atom of a scenario string."""
+    name, _, arg = text.strip().partition(":")
     name = name.lower() or "static"
     if name == "none":
         name = "static"
+    if name == "trace":
+        # The argument is a file path (which may itself contain ':').
+        return TraceSpec(path=arg)
     if name not in SCENARIO_PRESETS:
         raise ValueError(
-            f"unknown scenario {name!r}; options: {scenario_names()}"
+            f"unknown scenario {name!r}; options: {scenario_names()} "
+            f"(plus 'trace:<path>' and '+'-compositions)"
         )
     spec = SCENARIO_PRESETS[name]
     if not arg:
@@ -155,16 +245,56 @@ def parse_scenario(text: str | None) -> ScenarioSpec:
         value = float(arg)
     except ValueError:
         raise ValueError(f"bad scenario argument {arg!r} in {text!r}") from None
-    if name == "churn":
-        return replace(spec, churn_fraction=value)
-    if name == "drift":
-        return replace(spec, drift_fraction=value)
-    if name == "burst":
-        return replace(spec, burst_count=int(value))
-    if name == "arrival":
-        return replace(spec, arrival_fraction=value)
-    if name == "bwdrift":
-        # The argument pins the per-step divisor exactly: ``bwdrift:2``
-        # halves a drifting client's bandwidth at every step.
-        return replace(spec, bwdrift_factor=(value, value))
+    try:
+        if name == "churn":
+            return replace(spec, churn_fraction=value)
+        if name == "drift":
+            return replace(spec, drift_fraction=value)
+        if name == "burst":
+            if value != int(value):
+                raise ValueError(f"burst count must be an integer, got {arg!r}")
+            return replace(spec, burst_count=int(value))
+        if name == "arrival":
+            return replace(spec, arrival_fraction=value)
+        if name == "bwdrift":
+            # The argument pins the per-step divisor exactly: ``bwdrift:2``
+            # halves a drifting client's bandwidth at every step.
+            return replace(spec, bwdrift_factor=(value, value))
+        if name == "bwheal":
+            # The argument pins the outage divisor: ``bwheal:4`` quarters a
+            # client's bandwidth until the episode heals.
+            return replace(spec, bwheal_factor=value)
+    except (ValueError, OverflowError) as exc:
+        # dataclasses.replace re-runs __post_init__, so out-of-range args
+        # (churn:1.5) fail here — surface the offending scenario string.
+        raise ValueError(f"invalid scenario {text!r}: {exc}") from None
     raise ValueError(f"scenario {name!r} takes no argument (got {text!r})")
+
+
+def parse_scenario(text: str | None) -> ScenarioSpec | TraceSpec | ComposedSpec:
+    """Parse a scenario string into its spec.
+
+    Grammar: ``atom ( "+" atom )*`` where an atom is ``name`` or
+    ``name:arg``. ``None``/``"none"`` mean static. The optional numeric
+    argument overrides the preset's headline knob: the churn/drift/arrival
+    fraction, the burst count (integers only), or the bandwidth divisor.
+    Examples: ``"churn:0.5"``, ``"drift:0.1"``, ``"burst:5"``,
+    ``"arrival:0.6"``, ``"bwdrift:2.0"`` (every step halves the client's
+    bandwidth), ``"bwheal:4"`` (one outage to quarter bandwidth, then
+    healed), ``"trace:traces/diurnal.csv"`` (replay a recorded timeline),
+    ``"churn:0.2+bwdrift:2"`` (both worlds at once; each family's timeline
+    is identical to its standalone run).
+    """
+    if text is None:
+        return SCENARIO_PRESETS["static"]
+    atoms = [a.strip() for a in str(text).strip().split("+")]
+    if atoms == [""]:
+        return SCENARIO_PRESETS["static"]
+    if any(not a for a in atoms):
+        raise ValueError(
+            f"invalid scenario {text!r}: empty atom in '+'-composition"
+        )
+    specs = [_parse_atom(atom) for atom in atoms]
+    if len(specs) == 1:
+        return specs[0]
+    return ComposedSpec(name="+".join(atoms), parts=tuple(specs))

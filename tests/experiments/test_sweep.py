@@ -36,6 +36,32 @@ def test_spec_validates_and_enumerates(spec):
         SweepSpec(methods=("fedavg",), seeds=())
 
 
+def test_cell_id_is_filename_safe_for_composed_and_trace_scenarios():
+    composed = SweepCell("fedat", "churn:0.2+bwdrift:2.0", 1)
+    assert composed.cell_id == "fedat__churn-0.2-bwdrift-2.0__s1"
+    trace = SweepCell("fedavg", "trace:tests/fixtures/traces/diurnal_tiny.csv", 0)
+    assert "/" not in trace.cell_id and ":" not in trace.cell_id
+    windows = SweepCell("fedavg", "trace:C:\\traces\\t.csv", 0)
+    assert "\\" not in windows.cell_id
+    # Distinct scenarios never collide after sanitization here.
+    assert len({composed.cell_id, trace.cell_id, windows.cell_id}) == 3
+
+
+def test_spec_accepts_composed_and_trace_scenarios():
+    spec = SweepSpec(
+        methods=("fedavg",),
+        scenarios=(
+            "churn:0.2+bwdrift:2.0",
+            "trace:tests/fixtures/traces/diurnal_tiny.csv",
+        ),
+        seeds=(0,),
+        smoke=True,
+    )
+    assert len(spec.cells()) == 2
+    with pytest.raises(ValueError):
+        SweepSpec(methods=("fedavg",), scenarios=("churn:0.2+earthquake",))
+
+
 def test_sweep_completes_and_summarizes(spec, tmp_path):
     runner = SweepRunner(spec, tmp_path / "out")
     summary = runner.run()

@@ -15,7 +15,7 @@ import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.scenario import ScenarioEngine, ScenarioSpec
+from repro.scenario import ComposedSpec, ScenarioEngine, ScenarioSpec
 
 fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
 positive_fractions = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
@@ -104,3 +104,71 @@ def test_bandwidth_timelines_always_positive(fraction, steps, n, horizon, seed):
         assert all(s > 0.0 for s in scales)
         assert all(b <= a for a, b in zip(scales, scales[1:]))  # only degrades
         assert scales[0] <= 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    churn=positive_fractions,
+    bw=positive_fractions,
+    arrival=positive_fractions,
+    n=populations,
+    horizon=horizons,
+    seed=seeds,
+)
+def test_family_marginals_preserved_under_composition(
+    churn, bw, arrival, n, horizon, seed
+):
+    """Merging families never perturbs any family's own timeline."""
+    composed = ComposedSpec(
+        name="composed",
+        parts=(
+            ScenarioSpec(name="churn", churn_fraction=churn),
+            ScenarioSpec(name="bwdrift", bwdrift_fraction=bw),
+            ScenarioSpec(name="arrival", arrival_fraction=arrival),
+        ),
+    )
+    eng = ScenarioEngine.compile(composed, n, horizon, np.random.default_rng(seed))
+    marginals = {
+        ("leave", "join"): ScenarioSpec(name="churn", churn_fraction=churn),
+        ("bandwidth",): ScenarioSpec(name="bwdrift", bwdrift_fraction=bw),
+        ("arrive",): ScenarioSpec(name="arrival", arrival_fraction=arrival),
+    }
+    for kinds, spec in marginals.items():
+        alone = ScenarioEngine.compile(
+            spec, n, horizon, np.random.default_rng(seed)
+        )
+        assert [e for e in eng.events if e.kind in kinds] == alone.events
+
+
+@settings(max_examples=30, deadline=None)
+@given(n=populations, horizon=horizons, seed=seeds)
+def test_multiplier_restores_drift_after_all_bursts_close(n, horizon, seed):
+    """Two burst families with different factors overlap freely; once every
+    episode is closed the multiplier returns bit-exactly to the drift value."""
+    composed = ComposedSpec(
+        name="composed",
+        parts=(
+            ScenarioSpec(name="drift", drift_fraction=1.0, drift_steps=2),
+            ScenarioSpec(
+                name="burst", burst_count=2, burst_fraction=1.0, burst_factor=3.0
+            ),
+            ScenarioSpec(
+                name="burst", burst_count=2, burst_fraction=1.0, burst_factor=3.0
+            ),
+        ),
+    )
+    eng = ScenarioEngine.compile(composed, n, horizon, np.random.default_rng(seed))
+    drift_only = ScenarioEngine.compile(
+        ScenarioSpec(name="drift", drift_fraction=1.0, drift_steps=2),
+        n,
+        horizon,
+        np.random.default_rng(seed),
+    )
+    last_burst_off = max(
+        (e.time for e in eng.events if e.kind == "burst_off"), default=0.0
+    )
+    probe = max(last_burst_off, horizon) + 1.0
+    for cid in range(n):
+        assert eng.latency_multiplier(cid, probe) == drift_only.latency_multiplier(
+            cid, probe
+        )
