@@ -1,0 +1,115 @@
+"""Population-engine benchmark: startup cost and memory at enrollment scale.
+
+Measures what the virtual-population tentpole promises:
+
+- **startup** — constructing a :class:`VirtualPopulation` and deriving the
+  aggregate scheduler vectors (sizes, train sizes) at 1e4 / 1e5 / 1e6
+  enrolled clients;
+- **cohort derivation** — materializing a fixed-size active cohort, which
+  must cost the same no matter how many clients are enrolled;
+- **memory** — tracemalloc peak per enrollment size (the O(active)-payload
+  claim: vectors scale with N, client payloads do not) plus process RSS
+  for context.
+
+Writes the machine-readable trajectory point to
+``bench_results/population.json``; ``scripts/check_population.py`` compares
+a fresh run against the committed baseline and fails when the million-client
+peak grows past tolerance (memory is hardware-normalized, so this gate is
+stable on shared runners). Run with
+
+    python -m pytest benchmarks/bench_population.py -q -s
+
+``REPRO_SMOKE=1`` shrinks enrollment sizes so CI smoke stays in seconds.
+"""
+
+from __future__ import annotations
+
+import os
+import resource
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.data.datasets import make_sample_bank
+from repro.population.virtual import VirtualPopulation
+
+SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
+SIZES = (1_000, 10_000) if SMOKE else (10_000, 100_000, 1_000_000)
+COHORT = 16
+#: Absolute ceiling on the largest cell's tracemalloc peak (full mode
+#: measures 1e6 clients: two int64 aggregate vectors plus a bounded cohort
+#: cache land near ~40 MB; an eager build would need gigabytes).
+PEAK_CEILING_MB = 64.0
+
+
+def _bank():
+    return make_sample_bank(
+        "sentiment140", np.random.default_rng(9), num_samples=1024
+    )
+
+
+def _measure(bank, n: int) -> dict:
+    tracemalloc.start()
+    try:
+        t0 = time.perf_counter()
+        pop = VirtualPopulation(
+            bank,
+            n,
+            seed=0,
+            samples_per_client=(16, 48),
+            classes_per_client=2,
+            cache_size=256,
+        )
+        pop.train_sizes()  # the aggregate vectors every scheduler query uses
+        startup_s = time.perf_counter() - t0
+        cohort = list(range(0, n, max(1, n // COHORT)))[:COHORT]
+        t0 = time.perf_counter()
+        for cid in cohort:
+            pop.client_data(cid)
+        cohort_s = time.perf_counter() - t0
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "clients": n,
+        "startup_s": startup_s,
+        "cohort_s": cohort_s,
+        "cohort_clients": len(cohort),
+        "peak_mb": peak / 1e6,
+        "rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024,
+    }
+
+
+def test_population(artifact):
+    bank = _bank()
+    cells = {str(n): _measure(bank, n) for n in SIZES}
+
+    print(f"\npopulation engine{' [smoke]' if SMOKE else ''}")
+    print(f"{'clients':>10}{'startup':>10}{'cohort':>10}{'peak':>10}{'rss':>10}")
+    for cell in cells.values():
+        print(
+            f"{cell['clients']:>10}{cell['startup_s']:>9.3f}s"
+            f"{cell['cohort_s']:>9.3f}s{cell['peak_mb']:>8.1f}MB"
+            f"{cell['rss_mb']:>8.0f}MB"
+        )
+
+    largest = cells[str(SIZES[-1])]
+    smallest = cells[str(SIZES[0])]
+    artifact(
+        "population",
+        {
+            "smoke": SMOKE,
+            "cpu_count": os.cpu_count(),
+            "cells": cells,
+            "largest": largest,
+            "peak_mb": largest["peak_mb"],
+            "cohort_scaling": largest["cohort_s"] / max(smallest["cohort_s"], 1e-9),
+        },
+    )
+    # Memory is the tentpole's contract and is stable across hosts; wall
+    # clock is informational (the check script gates only the full mode).
+    assert largest["peak_mb"] < PEAK_CEILING_MB, (
+        f"peak {largest['peak_mb']:.1f} MB at {SIZES[-1]} clients — "
+        "the population is no longer O(active cohort)"
+    )

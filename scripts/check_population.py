@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Memory-regression gate for the virtual-population engine.
+
+Compares a fresh ``bench_population.py`` artifact against the committed
+baseline and fails (exit 1) when the million-client enrollment's
+tracemalloc peak grows more than the allowed fraction over baseline, or
+crosses the absolute O(active)-memory ceiling. Peak bytes are deterministic
+for a fixed allocation pattern, so this gate is hardware-normalized in a
+way wall-clock startup time is not (startup is printed, never gated).
+
+Smoke artifacts (``REPRO_SMOKE=1``) are not gated — their largest cell is
+not the headline enrollment size.
+
+Usage (what the nightly workflow runs)::
+
+    python -m pytest benchmarks/bench_population.py -q -s   # writes fresh
+    python scripts/check_population.py \
+        --fresh bench_results/population.json \
+        --baseline benchmarks/baselines/population_baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+#: Fail when the fresh peak exceeds (1 + tolerance) x baseline.
+DEFAULT_TOLERANCE = 0.25
+#: Absolute ceiling from the population refactor's acceptance criteria.
+PEAK_CEILING_MB = 64.0
+
+
+def check(fresh: dict, baseline: dict, tolerance: float) -> list[str]:
+    if fresh.get("smoke"):
+        return []
+    failures = []
+    peak = fresh["peak_mb"]
+    base_peak = baseline.get("peak_mb")
+    if base_peak is not None and not baseline.get("smoke"):
+        allowed = base_peak * (1.0 + tolerance)
+        if peak > allowed:
+            failures.append(
+                f"population peak memory regressed: {peak:.1f} MB > "
+                f"{allowed:.1f} MB ({(1 + tolerance) * 100:.0f}% of baseline "
+                f"{base_peak:.1f} MB)"
+            )
+    if peak > PEAK_CEILING_MB:
+        failures.append(
+            f"population peak memory {peak:.1f} MB is above the "
+            f"{PEAK_CEILING_MB:.0f} MB acceptance ceiling"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fresh", default="bench_results/population.json")
+    parser.add_argument(
+        "--baseline", default="benchmarks/baselines/population_baseline.json"
+    )
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE)
+    args = parser.parse_args(argv)
+
+    fresh_path, base_path = Path(args.fresh), Path(args.baseline)
+    if not fresh_path.exists():
+        print(f"fresh artifact missing: {fresh_path} (run bench_population.py)")
+        return 1
+    if not base_path.exists():
+        print(f"committed baseline missing: {base_path}")
+        return 1
+    fresh = json.loads(fresh_path.read_text())
+    baseline = json.loads(base_path.read_text())
+
+    failures = check(fresh, baseline, args.tolerance)
+    largest = fresh["largest"]
+    print(
+        f"population peak at {largest['clients']} clients: "
+        f"{fresh['peak_mb']:.1f} MB vs baseline "
+        f"{baseline.get('peak_mb', float('nan')):.1f} MB "
+        f"(tolerance {args.tolerance * 100:.0f}%"
+        + (", smoke — not gated)" if fresh.get("smoke") else ")")
+    )
+    print(
+        f"startup {largest['startup_s']:.3f}s, cohort "
+        f"{largest['cohort_s']:.3f}s for {largest['cohort_clients']} clients, "
+        f"cohort scaling {fresh['cohort_scaling']:.2f}x (informational)"
+    )
+    if failures:
+        for f in failures:
+            print(f"FAIL: {f}")
+        return 1
+    print("population memory check OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -11,6 +11,7 @@ full system on a from-scratch NumPy substrate:
 - :mod:`repro.tiering` — latency profiling and tier assignment;
 - :mod:`repro.core` — FedAT (Algorithm 2) and the tiered server;
 - :mod:`repro.baselines` — FedAvg, FedProx, TiFL, FedAsync, ASO-Fed;
+- :mod:`repro.population` — eager and lazily derived client populations;
 - :mod:`repro.experiments` — every table/figure of the paper's evaluation.
 
 Quickstart::
@@ -19,12 +20,30 @@ Quickstart::
     history = run_experiment("fedat", "cifar10", scale="tiny",
                              classes_per_client=2, seed=0)
     print(history.best_accuracy())
+
+Million-client runs use the population axis::
+
+    history = run_experiment("fedat", "cifar10", scale="tiny",
+                             population=1_000_000, seed=0)
 """
 
 from repro.core.config import FLConfig
 from repro.core.fedat import FedAT
-from repro.experiments.runner import ALGORITHMS, build_federation, run_experiment
+from repro.core.staleness import StalenessPolicy
+from repro.experiments.runner import (
+    ALGORITHMS,
+    build_federation,
+    build_virtual_population,
+    run_experiment,
+)
 from repro.metrics.history import RunHistory
+from repro.population import (
+    MaterializedPopulation,
+    Population,
+    VirtualPopulation,
+    as_population,
+)
+from repro.scenario.spec import parse_scenario
 
 __version__ = "1.0.0"
 
@@ -33,7 +52,14 @@ __all__ = [
     "FLConfig",
     "RunHistory",
     "ALGORITHMS",
+    "StalenessPolicy",
+    "Population",
+    "MaterializedPopulation",
+    "VirtualPopulation",
+    "as_population",
+    "parse_scenario",
     "run_experiment",
     "build_federation",
+    "build_virtual_population",
     "__version__",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import FLSystem, RelaunchClient
+from repro.core.staleness import StalenessPolicy
 from repro.metrics.history import RunHistory
 from repro.sim.events import EventQueue
 
@@ -24,6 +25,7 @@ __all__ = ["ASOFed"]
 @dataclass
 class _ClientDone:
     client_id: int
+    start_version: int
     weights: np.ndarray
     uplink_bytes: int
 
@@ -31,18 +33,34 @@ class _ClientDone:
 class ASOFed(FLSystem):
     name = "asofed"
 
-    def __init__(self, dataset, model_builder, config, *, delay_model=None):
-        super().__init__(dataset, model_builder, config, delay_model=delay_model)
-        k = dataset.num_clients
-        # Server-side copies, all initialized to w0; running sum keeps the
-        # global recompute O(d) instead of O(K·d).
-        self._copies = [self.initial_flat.copy() for _ in range(k)]
+    def __init__(self, population, model_builder, config, *, delay_model=None):
+        super().__init__(population, model_builder, config, delay_model=delay_model)
+        k = self.num_clients
+        # Server-side copies, all initialized to w0. Copies are materialized
+        # lazily (a client with no upload yet implicitly holds w0), so
+        # server memory is O(clients that ever reported), and the running
+        # sum keeps the global recompute O(d) instead of O(K·d).
+        self._copies: dict[int, np.ndarray] = {}
         self._copy_sum = self.initial_flat * k
         self._k = k
+        self.staleness_policy = StalenessPolicy.parse(config.staleness) or (
+            StalenessPolicy("constant")
+        )
 
-    def _install_copy(self, client_id: int, weights: np.ndarray) -> None:
+    def copy_of(self, client_id: int) -> np.ndarray:
+        """The server-side copy for a client (w0 until its first upload)."""
+        return self._copies.get(client_id, self.initial_flat)
+
+    def _install_copy(
+        self, client_id: int, weights: np.ndarray, staleness: int
+    ) -> None:
         with self.timers.phase("aggregate"):
-            self._copy_sum += weights - self._copies[client_id]
+            old = self._copies.get(client_id, self.initial_flat)
+            s = self.staleness_policy.factor(float(staleness))
+            if s != 1.0:
+                # Damp a stale contribution toward the copy it replaces.
+                weights = old + s * (weights - old)
+            self._copy_sum += weights - old
             self._copies[client_id] = weights
             self.global_weights = self._copy_sum / self._k
 
@@ -62,13 +80,13 @@ class ASOFed(FLSystem):
         for (res, finish), nb in zip(cohort, nbytes):
             queue.schedule_at(
                 finish,
-                _ClientDone(res.client_id, res.weights, nb),
+                _ClientDone(res.client_id, self.round, res.weights, nb),
             )
 
     def _run(self) -> RunHistory:
         queue = EventQueue()
         self.record_eval()
-        self._launch_cohort(self.alive(range(self.dataset.num_clients), 0.0), queue)
+        self._launch_cohort(self.alive(range(self.num_clients), 0.0), queue)
         # Late arrivals enter the same continuous-training loop on arrival.
         self.schedule_arrival_launches(queue)
         while not queue.empty and not self.budget_exhausted():
@@ -79,7 +97,9 @@ class ASOFed(FLSystem):
                 continue
             done: _ClientDone = ev.payload
             self.meter.record_upload(done.uplink_bytes)
-            self._install_copy(done.client_id, done.weights)
+            self._install_copy(
+                done.client_id, done.weights, self.round - done.start_version
+            )
             self.round += 1
             if self._eval_due():
                 self.record_eval()

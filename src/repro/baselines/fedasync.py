@@ -16,6 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.base import FLSystem, RelaunchClient
+from repro.core.staleness import StalenessPolicy
 from repro.metrics.history import RunHistory
 from repro.sim.events import EventQueue
 
@@ -25,18 +26,10 @@ __all__ = ["FedAsync", "staleness_factor"]
 def staleness_factor(kind: str, staleness: int, a: float = 0.5, b: int = 4) -> float:
     """The s(t−τ) functions from the FedAsync paper.
 
-    ``constant``: 1; ``poly``: (1 + staleness)^(−a);
-    ``hinge``: 1 if staleness ≤ b else 1 / (a · (staleness − b) + 1).
+    Thin wrapper over :class:`repro.core.staleness.StalenessPolicy`, kept
+    for the staleness ablation bench's historical call sites.
     """
-    if staleness < 0:
-        raise ValueError("staleness must be non-negative")
-    if kind == "constant":
-        return 1.0
-    if kind == "poly":
-        return float((1.0 + staleness) ** (-a))
-    if kind == "hinge":
-        return 1.0 if staleness <= b else 1.0 / (a * (staleness - b) + 1.0)
-    raise ValueError(f"unknown staleness function {kind!r}")
+    return StalenessPolicy(kind, a=a, b=float(b)).factor(float(staleness))
 
 
 @dataclass
@@ -51,11 +44,17 @@ class _ClientDone:
 class FedAsync(FLSystem):
     name = "fedasync"
 
+    def __init__(self, population, model_builder, config, *, delay_model=None):
+        super().__init__(population, model_builder, config, delay_model=delay_model)
+        # The shared FLConfig.staleness policy wins; without one, fall back
+        # to the method's legacy fedasync_* knobs (bit-identical histories).
+        self.staleness_policy = StalenessPolicy.parse(config.staleness) or (
+            StalenessPolicy(config.fedasync_staleness, a=config.fedasync_a)
+        )
+
     def _mix(self, local: np.ndarray, staleness: int) -> None:
         cfg = self.config
-        alpha = cfg.fedasync_alpha * staleness_factor(
-            cfg.fedasync_staleness, staleness, cfg.fedasync_a
-        )
+        alpha = cfg.fedasync_alpha * self.staleness_policy.factor(float(staleness))
         with self.timers.phase("aggregate"):
             self.global_weights = (1.0 - alpha) * self.global_weights + alpha * local
 
@@ -90,7 +89,7 @@ class FedAsync(FLSystem):
     def _run(self) -> RunHistory:
         queue = EventQueue()
         self.record_eval()
-        self._launch_cohort(self.alive(range(self.dataset.num_clients), 0.0), queue)
+        self._launch_cohort(self.alive(range(self.num_clients), 0.0), queue)
         # Late arrivals enter the same continuous-training loop on arrival.
         self.schedule_arrival_launches(queue)
         while not queue.empty and not self.budget_exhausted():

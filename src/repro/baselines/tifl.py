@@ -37,14 +37,14 @@ class TiFL(SyncFLSystem):
 
     def __init__(
         self,
-        dataset,
+        population,
         model_builder,
         config,
         *,
         tiering=None,
         delay_model=None,
     ):
-        super().__init__(dataset, model_builder, config, delay_model=delay_model)
+        super().__init__(population, model_builder, config, delay_model=delay_model)
         self.tiering = tiering if tiering is not None else self.build_tiering()
         m = self.tiering.num_tiers
         # Credits: how many times each tier may be selected in total.
@@ -62,7 +62,6 @@ class TiFL(SyncFLSystem):
         Rebuilt after every online re-tier; a tier emptied by re-tiering
         has no shards to evaluate and gets ``None`` (zero selection weight).
         """
-        dataset = self.dataset
         evaluators: list[Evaluator | None] = []
         for t in range(self.tiering.num_tiers):
             ids = self.tiering.clients_in(t)
@@ -70,16 +69,10 @@ class TiFL(SyncFLSystem):
                 evaluators.append(None)
                 continue
             evaluators.append(
-                Evaluator(
-                    type(dataset)(
-                        name=dataset.name,
-                        clients=[dataset.clients[c] for c in ids],
-                        num_classes=dataset.num_classes,
-                        input_shape=dataset.input_shape,
-                        task=dataset.task,
-                    ),
+                self.population.build_evaluator(
                     self.worker,
                     eval_batch_size=self.config.eval_batch_size,
+                    client_ids=ids.tolist(),
                 )
             )
         return evaluators
@@ -94,7 +87,7 @@ class TiFL(SyncFLSystem):
         accuracy reports, which costs one downlink per client plus a
         synchronization delay bounded by the slowest alive client.
         """
-        alive = self.alive(range(self.dataset.num_clients))
+        alive = self.alive(range(self.num_clients))
         self.send_down(self.global_weights, n_receivers=len(alive))
         if alive:
             # Evaluation round-trip: no training, but delays still apply.
@@ -136,8 +129,8 @@ class TiFL(SyncFLSystem):
         # Draw tiers until one yields alive clients (dead tiers are skipped).
         for _ in range(4 * m):
             tier = int(self._tier_rng.choice(m, p=probs))
-            pool = self.alive(self.tiering.clients_in(tier).tolist())
-            if pool:
+            pool = self.alive(self.tiering.clients_in(tier))
+            if len(pool):
                 self._current_tier = tier
                 self.credits[tier] -= 1
                 return self.select_clients(pool, self.config.clients_per_round)

@@ -52,6 +52,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--classes-per-client", type=int, default=None,
                        help="k-class non-IID level (omit for dataset default)")
     run_p.add_argument("--clients", type=int, default=None)
+    run_p.add_argument("--population", type=int, default=None,
+                       help="run on a VirtualPopulation of N lazily derived "
+                       "clients (memory stays O(active cohort); overrides "
+                       "--clients)")
+    run_p.add_argument("--eval-clients", type=int, default=None,
+                       help="evaluate on a fixed random subset of N clients "
+                       "(default for --population runs: min(N, 200))")
+    run_p.add_argument("--staleness", default=None,
+                       help='cross-method staleness policy, "constant", '
+                       '"poly[:a]" or "hinge[:a[:b]]" (default: method-'
+                       "specific legacy behavior)")
     run_p.add_argument("--rounds", type=int, default=None)
     run_p.add_argument("--max-time", type=float, default=None)
     run_p.add_argument("--lam", type=float, default=None)
@@ -100,7 +111,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--config", default=None,
                          help="JSON sweep config (see examples/sweep_*.json); "
                          "replaces the grid flags (--methods/--scenarios/"
-                         "--seeds/--dataset/--scale/--classes-per-client/"
+                         "--seeds/--populations/--dataset/--scale/--classes-per-client/"
                          "--retier-interval/--executor/--num-workers/--smoke); "
                          "--out-dir and --max-runs still apply")
     sweep_p.add_argument("--methods", default="fedat,tifl,fedavg",
@@ -111,6 +122,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "replays are specs too)")
     sweep_p.add_argument("--seeds", default="1",
                          help='"N" for seeds 0..N-1, or an explicit list "0,3,7"')
+    sweep_p.add_argument("--populations", default=None,
+                         help='comma-separated population axis; "none" = the '
+                         'eager federation, ints = VirtualPopulation sizes '
+                         '(e.g. "none,50000")')
     sweep_p.add_argument("--dataset", default="sentiment140")
     sweep_p.add_argument("--scale", default="bench", choices=["tiny", "bench", "paper"])
     sweep_p.add_argument("--classes-per-client", type=int, default=None)
@@ -152,6 +167,12 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         kwargs["classes_per_client"] = args.classes_per_client
     if getattr(args, "clients", None) is not None:
         kwargs["num_clients"] = args.clients
+    if getattr(args, "population", None) is not None:
+        kwargs["population"] = args.population
+    if getattr(args, "eval_clients", None) is not None:
+        kwargs["eval_clients"] = args.eval_clients
+    if getattr(args, "staleness", None) is not None:
+        kwargs["staleness"] = args.staleness
     if getattr(args, "rounds", None) is not None:
         kwargs["max_rounds"] = args.rounds
     if getattr(args, "max_time", None) is not None:
@@ -183,6 +204,19 @@ def _parse_seeds(text: str) -> tuple[int, ...]:
     if count < 1:
         raise ValueError("--seeds must name at least one seed")
     return tuple(range(count))
+
+
+def _parse_populations(text: str) -> tuple[int | None, ...]:
+    """``"none,50000"`` -> (None, 50000)."""
+    out: list[int | None] = []
+    for part in text.split(","):
+        part = part.strip().lower()
+        if not part:
+            continue
+        out.append(None if part in ("none", "null") else int(part))
+    if not out:
+        raise ValueError("--populations must name at least one population")
+    return tuple(out)
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -257,6 +291,11 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     s.strip() for s in args.scenarios.split(",") if s.strip()
                 ),
                 seeds=_parse_seeds(args.seeds),
+                populations=(
+                    (None,)
+                    if args.populations is None
+                    else _parse_populations(args.populations)
+                ),
                 dataset=args.dataset,
                 scale=args.scale,
                 classes_per_client=(

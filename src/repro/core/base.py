@@ -19,14 +19,13 @@ import numpy as np
 
 from repro.compression.codec import Codec, NullCodec, make_codec
 from repro.core.config import FLConfig
-from repro.data.federated import FederatedDataset
 from repro.exec import CohortTask, OptimizerSpec, make_executor, roundtrip_batch
-from repro.metrics.evaluation import Evaluator
 from repro.metrics.history import EvalRecord, RunHistory
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.model import Sequential
+from repro.population.base import as_population
 from repro.scenario import ScenarioEngine, parse_scenario
-from repro.sim.client import LocalTrainingResult, SimClient
+from repro.sim.client import LocalTrainingResult
 from repro.sim.failures import UnstableClientPolicy
 from repro.sim.latency import (
     DEFAULT_FINITE_BANDWIDTH,
@@ -67,13 +66,20 @@ class FLSystem:
 
     def __init__(
         self,
-        dataset: FederatedDataset,
+        population,
         model_builder: ModelBuilder,
         config: FLConfig,
         *,
         delay_model: TierDelayModel | None = None,
     ):
-        self.dataset = dataset
+        # Accepts a Population, a FederatedDataset, or (deprecated) a raw
+        # client list; all internal plumbing goes through the population.
+        population = as_population(population)
+        self.population = population
+        #: The eager federation behind a materialized population; None when
+        #: clients are lazily derived (use ``num_clients``/``population``).
+        self.dataset = population.dataset
+        self.num_clients = population.num_clients
         self.config = config
         self.factory = SeedSequenceFactory(config.seed)
 
@@ -86,11 +92,6 @@ class FLSystem:
             # precision.
             self.worker.astype(np.dtype(config.dtype))
         self.initial_flat = self.worker.get_flat_weights()
-        # The evaluator owns a model replica (when faithful): evaluation
-        # must never write into the worker's shared flat buffer mid-run.
-        self.evaluator = Evaluator(
-            dataset, self.worker, eval_batch_size=config.eval_batch_size
-        )
         self.loss = SoftmaxCrossEntropy()
         #: Wall-clock seconds per phase (train/encode/aggregate/eval),
         #: published to ``history.meta["phase_seconds"]`` after the run.
@@ -99,8 +100,8 @@ class FLSystem:
         # Environment: identical across methods for a given seed.
         env_rng = self.factory.rng("env/delays")
         if delay_model is None:
-            delay_model = TierDelayModel.even_split(dataset.num_clients, env_rng)
-        if delay_model.num_clients != dataset.num_clients:
+            delay_model = TierDelayModel.even_split(self.num_clients, env_rng)
+        if delay_model.num_clients != self.num_clients:
             raise ValueError("delay model does not cover the client population")
         self.delay_model = delay_model
 
@@ -115,7 +116,7 @@ class FLSystem:
         horizon = config.max_time if config.max_time is not None else config.dropout_horizon
         self.scenario = ScenarioEngine.compile(
             parse_scenario(config.scenario),
-            dataset.num_clients,
+            self.num_clients,
             horizon,
             self.factory.rng("env/scenario"),
         )
@@ -132,12 +133,28 @@ class FLSystem:
             bandwidth_bytes_per_s=bandwidth,
         )
         self.latency_model = latency_model
-        self.clients = [
-            SimClient(c, latency_model, batch_size=config.batch_size, seed=config.seed)
-            for c in dataset.clients
-        ]
+        # Bind the population to the environment; ``clients`` is an
+        # indexable provider (today's eager list for materialized
+        # populations, a lazily materializing view for virtual ones).
+        self.clients = population.bind(
+            latency_model, batch_size=config.batch_size, seed=config.seed
+        )
+        # The evaluator owns a model replica (when faithful): evaluation
+        # must never write into the worker's shared flat buffer mid-run.
+        # ``eval_clients`` pins evaluation to a fixed random client subset
+        # (mandatory for large virtual populations).
+        eval_ids = None
+        if config.eval_clients is not None and config.eval_clients < self.num_clients:
+            eval_ids = np.sort(
+                self.factory.rng("env/eval").choice(
+                    self.num_clients, size=config.eval_clients, replace=False
+                )
+            ).tolist()
+        self.evaluator = population.build_evaluator(
+            self.worker, eval_batch_size=config.eval_batch_size, client_ids=eval_ids
+        )
         self.failures = UnstableClientPolicy(
-            dataset.num_clients,
+            self.num_clients,
             self.factory.rng("env/failures"),
             num_unstable=config.num_unstable,
             horizon=config.dropout_horizon,
@@ -158,7 +175,7 @@ class FLSystem:
         # Client-execution engine: cohorts of local rounds go through here.
         # Per-client batch-schedule cursors live with the system (not the
         # executor) so every backend replays identical mini-batch orders.
-        self._epoch_cursor = np.zeros(dataset.num_clients, dtype=np.int64)
+        self._epoch_cursor = np.zeros(self.num_clients, dtype=np.int64)
         self.executor = make_executor(
             config.executor,
             model=self.worker,
@@ -170,10 +187,10 @@ class FLSystem:
 
         self.history = RunHistory(
             method=self.name,
-            dataset=dataset.name,
+            dataset=population.name,
             meta={
                 "seed": config.seed,
-                "clients": dataset.num_clients,
+                "clients": self.num_clients,
                 "clients_per_round": config.clients_per_round,
                 "local_epochs": config.local_epochs,
                 "compression": config.compression if self.uses_compression else None,
@@ -286,9 +303,23 @@ class FLSystem:
                 res.weights = weights
             return [p.nbytes for p in payloads]
 
-    def alive(self, client_ids, at_time: float | None = None) -> list[int]:
-        """Clients participating (not dropped, not churned away) at a time."""
+    def alive(self, client_ids, at_time: float | None = None):
+        """Clients participating (not dropped, not churned away) at a time.
+
+        Array in, array out (the vectorized path million-client tier pools
+        take); lists/ranges keep returning lists for compatibility.
+        """
         t = self.now if at_time is None else at_time
+        if isinstance(client_ids, np.ndarray):
+            out = self.failures.alive_array(client_ids, t)
+            if not self.scenario.is_static and out.size:
+                mask = np.fromiter(
+                    (self.scenario.is_available(int(c), t) for c in out),
+                    dtype=bool,
+                    count=out.size,
+                )
+                out = out[mask]
+            return out
         out = self.failures.alive_clients(client_ids, t)
         if not self.scenario.is_static:
             out = [c for c in out if self.scenario.is_available(c, t)]
@@ -303,13 +334,14 @@ class FLSystem:
             client_id, start, end
         )
 
-    def select_clients(self, pool: list[int], k: int) -> list[int]:
+    def select_clients(self, pool, k: int) -> list[int]:
         """Random sample of ``min(k, |pool|)`` clients without replacement."""
-        if not pool:
+        pool = np.asarray(pool, dtype=np.int64)
+        if pool.size == 0:
             return []
-        k = min(k, len(pool))
+        k = min(k, int(pool.size))
         return sorted(
-            self._select_rng.choice(np.asarray(pool), size=k, replace=False).tolist()
+            self._select_rng.choice(pool, size=k, replace=False).tolist()
         )
 
     def sample_latency(self, client_id: int, epochs: int | None = None) -> float:
@@ -330,7 +362,7 @@ class FLSystem:
         if transfer > 0.0:
             self.meter.record_transfer(transfer)
         latency = (
-            self.clients[client_id].sample_latency(epochs, self._latency_rng)
+            self.population.sample_round_latency(client_id, epochs, self._latency_rng)
             + transfer
         )
         if not self.scenario.is_static:
@@ -469,7 +501,9 @@ class FLSystem:
             probe_rounds=self.config.profiler_probe_rounds,
             misprofile_fraction=self.config.misprofile_fraction,
         )
-        latencies = profiler.profile(self.clients, self.factory.rng("env/profile"))
+        latencies = self.population.profile_latencies(
+            profiler, self.factory.rng("env/profile")
+        )
         #: Kept as the prior for online re-tiering (see make_retier_tracker).
         self.profiled_latencies = latencies
         return Tiering.from_latencies(latencies, self.config.num_tiers)
@@ -487,9 +521,7 @@ class FLSystem:
 
         prior = getattr(self, "profiled_latencies", None)
         if prior is None:
-            prior = np.array(
-                [c.expected_latency(self.config.local_epochs) for c in self.clients]
-            )
+            prior = self.population.expected_latencies(self.config.local_epochs)
         return LatencyTracker(prior, alpha=self.config.retier_ewma)
 
     def retier_due(self) -> bool:
@@ -515,7 +547,7 @@ class FLSystem:
         # split) are additions, not moves.
         moved = sum(
             1
-            for c in range(self.dataset.num_clients)
+            for c in range(self.num_clients)
             if c in old and c in new and old.tier_of(c) != new.tier_of(c)
         )
         self.tiering = new
@@ -533,9 +565,24 @@ class FLSystem:
     # Evaluation / bookkeeping
     # ------------------------------------------------------------------ #
     def record_eval(self) -> EvalRecord:
-        """Evaluate the current global model and append to the history."""
+        """Evaluate the current global model and append to the history.
+
+        Under an arrival scenario the same forward pass additionally scores
+        the *enrolled-so-far* view — accuracy over clients that have joined
+        by now, vs. the headline accuracy over the full eventual population
+        — appended to ``history.meta["arrival_eval"]``.
+        """
+        views = None
+        if self.scenario.has_arrivals:
+            views = {
+                "enrolled": [
+                    cid
+                    for cid in self.evaluator.client_ids
+                    if self.scenario.arrival_time(cid) <= self.now
+                ]
+            }
         with self.timers.phase("eval"):
-            stats = self.evaluator.evaluate_flat(self.global_weights)
+            stats = self.evaluator.evaluate_flat(self.global_weights, views=views)
         rec = EvalRecord(
             time=self.now,
             round=self.round,
@@ -546,6 +593,17 @@ class FLSystem:
             downlink_bytes=self.meter.downlink_bytes,
         )
         self.history.append(rec)
+        if views is not None:
+            enrolled = stats["views"]["enrolled"]
+            self.history.meta.setdefault("arrival_eval", []).append(
+                {
+                    "time": float(self.now),
+                    "round": int(self.round),
+                    "enrolled_clients": enrolled["clients"],
+                    "enrolled_accuracy": enrolled["accuracy"],
+                    "population_accuracy": stats["accuracy"],
+                }
+            )
         return rec
 
     def _eval_due(self) -> bool:
@@ -592,7 +650,7 @@ class SyncFLSystem(FLSystem):
     name = "sync-base"
 
     def choose_cohort(self) -> list[int]:
-        pool = self.alive(range(self.dataset.num_clients))
+        pool = self.alive(range(self.num_clients))
         return self.select_clients(pool, self.config.clients_per_round)
 
     def client_epochs(self, client_id: int) -> int:
@@ -620,9 +678,7 @@ class SyncFLSystem(FLSystem):
         """
         if self.scenario.is_static:
             return False
-        wake = self.scenario.next_join_after(
-            range(self.dataset.num_clients), self.now
-        )
+        wake = self.scenario.next_join_after(range(self.num_clients), self.now)
         if wake is None:
             return False
         if self.config.max_time is not None and wake >= self.config.max_time:

@@ -45,6 +45,11 @@ class FLConfig:
     # memory is bounded regardless of the federation test-set size. Chunking
     # is bit-identical at any value (row-wise ops + a full-vector mean).
     eval_batch_size: int = 256
+    # Evaluate the global model over a fixed random subset of this many
+    # clients' test shards (drawn once from the "env/eval" stream) instead
+    # of every client. None keeps the historical evaluate-everyone behavior;
+    # virtual populations beyond a few thousand clients require a subset.
+    eval_clients: int | None = None
 
     # --- environment ------------------------------------------------------#
     # Dynamic-world scenario: a preset name with optional argument ("churn",
@@ -78,6 +83,14 @@ class FLConfig:
 
     # --- FedAT server -----------------------------------------------------#
     server_weighting: str = "dynamic"  # "dynamic" (§4.2) | "uniform" (Fig 6)
+
+    # --- staleness weighting ----------------------------------------------#
+    # Shared StalenessPolicy spec ("constant", "poly[:a]", "hinge[:a[:b]]")
+    # applied by FedAsync's mixing rate, ASO-Fed's copy installs, and
+    # FedAT's cross-tier weight modulation. None keeps each method's
+    # historical behavior (FedAsync/ASO-Fed fall back to the legacy
+    # fedasync_* knobs; FedAT applies no staleness modulation).
+    staleness: str | None = None
 
     # --- FedAsync ---------------------------------------------------------#
     # The paper describes its FedAsync baseline as plain weighted averaging
@@ -134,6 +147,12 @@ class FLConfig:
             raise ValueError(f"unknown server_weighting {self.server_weighting!r}")
         if self.fedasync_staleness not in ("constant", "poly", "hinge"):
             raise ValueError(f"unknown staleness {self.fedasync_staleness!r}")
+        if self.staleness is not None:
+            from repro.core.staleness import StalenessPolicy
+
+            StalenessPolicy.parse(self.staleness)  # raises ValueError on bad specs
+        if self.eval_clients is not None and self.eval_clients < 1:
+            raise ValueError("eval_clients must be >= 1 (None evaluates everyone)")
         if self.compression is not None:
             kind, _, arg = self.compression.partition(":")
             if kind not in ("polyline", "quant", "topk", "subsample"):

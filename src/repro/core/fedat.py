@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.aggregation import sample_weighted_average
 from repro.core.base import FLSystem
 from repro.core.server import TieredServer
+from repro.core.staleness import StalenessPolicy
 from repro.exec import CohortTask
 from repro.metrics.history import RunHistory
 from repro.sim.events import EventQueue
@@ -63,14 +64,14 @@ class FedAT(FLSystem):
 
     def __init__(
         self,
-        dataset,
+        population,
         model_builder,
         config,
         *,
         tiering: Tiering | None = None,
         delay_model=None,
     ):
-        super().__init__(dataset, model_builder, config, delay_model=delay_model)
+        super().__init__(population, model_builder, config, delay_model=delay_model)
         #: Held-back data shards of clients that have not arrived yet
         #: (arrival scenarios only; None means the population is fixed).
         self.arrival_pool = None
@@ -84,20 +85,23 @@ class FedAT(FLSystem):
                 # pool until their arrival event releases it.
                 founders = self.scenario.founders()
                 self._enrolled = list(founders)
-                self.arrival_pool = dataset.hold_back([cid for cid, _ in late])
+                self.arrival_pool = self.population.hold_back(
+                    [cid for cid, _ in late]
+                )
                 tiering = Tiering.from_latencies(
                     self.profiled_latencies[np.asarray(founders, dtype=np.int64)],
                     config.num_tiers,
                     allow_empty=True,
                     client_ids=founders,
                 )
-        if self.arrival_pool is None and tiering.num_clients != dataset.num_clients:
+        if self.arrival_pool is None and tiering.num_clients != self.num_clients:
             raise ValueError("tiering does not cover the client population")
         self.tiering = tiering
         self.server = TieredServer(
             self.initial_flat,
             tiering.num_tiers,
             weighting=config.server_weighting,
+            staleness=StalenessPolicy.parse(config.staleness),
         )
         self.server.set_active_tiers([size > 0 for size in tiering.sizes()])
         self.global_weights = self.server.global_weights
@@ -113,7 +117,7 @@ class FedAT(FLSystem):
         carries the results to their virtual finish time. Returns False if
         the tier has no alive clients right now (the tier idles).
         """
-        pool = self.alive(self.tiering.clients_in(tier).tolist(), queue.now)
+        pool = self.alive(self.tiering.clients_in(tier), queue.now)
         cohort = self.select_clients(pool, self.config.clients_per_round)
         if not cohort:
             return False
@@ -143,7 +147,7 @@ class FedAT(FLSystem):
         if self.scenario.is_static:
             return  # nobody ever comes back: the tier retires for good
         wake = self.scenario.next_join_after(
-            self.tiering.clients_in(tier).tolist(), queue.now
+            self.tiering.clients_in(tier), queue.now
         )
         if wake is not None and (
             self.config.max_time is None or wake < self.config.max_time

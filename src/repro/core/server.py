@@ -9,6 +9,7 @@ from repro.core.aggregation import (
     uniform_tier_weights,
     weighted_average,
 )
+from repro.core.staleness import StalenessPolicy
 
 __all__ = ["TieredServer"]
 
@@ -29,6 +30,7 @@ class TieredServer:
         num_tiers: int,
         *,
         weighting: str = "dynamic",
+        staleness: StalenessPolicy | None = None,
     ):
         if num_tiers < 1:
             raise ValueError("num_tiers must be >= 1")
@@ -37,6 +39,12 @@ class TieredServer:
         self._initial = np.array(initial_weights, dtype=np.float64, copy=True)
         self.num_tiers = num_tiers
         self.weighting = weighting
+        #: Optional cross-tier staleness modulation: a tier whose model is
+        #: Δτ global updates old gets its aggregation weight scaled by
+        #: ``policy.factor(Δτ)``. None (or a constant policy) leaves the
+        #: paper's §4.2 weighting bit-identical.
+        self.staleness = staleness
+        self._last_update = np.zeros(num_tiers, dtype=np.int64)
         self.tier_models: list[np.ndarray] = [
             self._initial.copy() for _ in range(num_tiers)
         ]
@@ -79,6 +87,14 @@ class TieredServer:
             weights = cross_tier_weights(self.update_counts)
             if weights is None:
                 return None
+        if self.staleness is not None and not self.staleness.is_constant:
+            stale = self.total_updates - self._last_update
+            factors = np.array([self.staleness.factor(float(s)) for s in stale])
+            weights = weights * factors
+            total = float(weights.sum())
+            if total <= 0.0:
+                return None
+            weights = weights / total
         if self.active.all():
             return weights
         weights = np.where(self.active, weights, 0.0)
@@ -100,6 +116,7 @@ class TieredServer:
             raise ValueError("tier model has wrong shape")
         self.tier_models[tier] = tier_model.copy()
         self.update_counts[tier] += 1
+        self._last_update[tier] = self.total_updates
         weights = self.tier_weight_vector()
         if weights is None:
             # No weightable tier (pre-first-update, or every tier masked

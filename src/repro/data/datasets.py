@@ -36,7 +36,7 @@ from repro.data.partition import (
     partition_power_law_sizes,
 )
 
-__all__ = ["DatasetSpec", "make_dataset", "DATASETS"]
+__all__ = ["DatasetSpec", "SampleBank", "make_dataset", "make_sample_bank", "DATASETS"]
 
 
 @dataclass(frozen=True)
@@ -266,20 +266,7 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
-def make_dataset(
-    name: str,
-    rng: np.random.Generator,
-    **overrides,
-) -> FederatedDataset:
-    """Build a federated dataset by name with optional spec overrides.
-
-    >>> import numpy as np
-    >>> ds = make_dataset("cifar10", np.random.default_rng(0),
-    ...                   num_clients=10, samples_per_client=20,
-    ...                   classes_per_client=2)
-    >>> ds.num_clients
-    10
-    """
+def _resolve_spec(name: str, overrides: dict) -> DatasetSpec:
     if name not in DATASETS:
         raise KeyError(f"unknown dataset {name!r}; options: {sorted(DATASETS)}")
     base = DATASETS[name]
@@ -295,4 +282,105 @@ def make_dataset(
     # Reddit's label space is its vocabulary — keep them consistent.
     if name == "reddit":
         object.__setattr__(spec, "num_classes", spec.vocab_size)
+    return spec
+
+
+def make_dataset(
+    name: str,
+    rng: np.random.Generator,
+    **overrides,
+) -> FederatedDataset:
+    """Build a federated dataset by name with optional spec overrides.
+
+    >>> import numpy as np
+    >>> ds = make_dataset("cifar10", np.random.default_rng(0),
+    ...                   num_clients=10, samples_per_client=20,
+    ...                   classes_per_client=2)
+    >>> ds.num_clients
+    10
+    """
+    spec = _resolve_spec(name, overrides)
     return _BUILDERS[name](spec, rng)
+
+
+@dataclass
+class SampleBank:
+    """A labelled sample pool that virtual populations draw clients from.
+
+    Million-client populations cannot pre-partition samples across clients
+    (there would be a billion shards); instead each virtual client resamples
+    its shard from this shared bank — class-conditional sampling with
+    replacement across clients, so the bank stays small while the federation
+    keeps the generators' label ↔ feature structure. The stable per-class
+    index makes ``locate`` a pure O(1) map from (label, in-class position)
+    to a bank row, which is what keeps client derivation order-independent.
+    """
+
+    name: str
+    x: np.ndarray
+    y: np.ndarray
+    num_classes: int
+    input_shape: tuple[int, ...]
+    task: str
+    meta: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        y = np.asarray(self.y, dtype=np.int64)
+        if y.ndim != 1 or y.size == 0:
+            raise ValueError("bank labels must be a non-empty 1-D array")
+        if y.min() < 0 or y.max() >= self.num_classes:
+            raise ValueError("bank label outside [0, num_classes)")
+        self.y = y
+        self.class_counts = np.bincount(y, minlength=self.num_classes)
+        order = np.argsort(y, kind="stable")
+        self._order = order
+        self._starts = np.concatenate(([0], np.cumsum(self.class_counts)[:-1]))
+        #: Classes with at least one sample; client label draws are
+        #: restricted to these so a sparse bank can never strand a client.
+        self.present_classes = np.flatnonzero(self.class_counts)
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.y.size)
+
+    def locate(self, labels: np.ndarray, positions: np.ndarray) -> np.ndarray:
+        """Bank row for each (label, in-class position) pair."""
+        return self._order[self._starts[labels] + positions]
+
+
+def make_sample_bank(
+    name: str,
+    rng: np.random.Generator,
+    *,
+    num_samples: int = 4096,
+    **overrides,
+) -> SampleBank:
+    """Build the sample pool behind a virtual population, by dataset name.
+
+    Reuses the same raw-sample synthesizers as :func:`make_dataset` (same
+    spec table, same override surface), but stops before partitioning:
+    virtual clients partition on demand.
+    """
+    if num_samples < 1:
+        raise ValueError("num_samples must be >= 1")
+    spec = _resolve_spec(name, overrides)
+    builder = _BUILDERS[name]
+    if builder is _build_image_dataset:
+        x, y = _synth_images(rng, num_samples, spec.num_classes, spec.image_shape, spec.noise)
+        shape: tuple[int, ...] = spec.image_shape
+        task = "image_classification"
+    elif builder is _build_bow_dataset:
+        x, y = _synth_bow(rng, num_samples, spec.num_classes, spec.feature_dim, spec.noise)
+        shape, task = (spec.feature_dim,), "text_classification"
+    else:
+        x, y = _synth_markov_sequences(rng, num_samples, spec.vocab_size, spec.seq_len)
+        shape, task = (spec.seq_len,), "next_token"
+    return SampleBank(
+        name=spec.name,
+        x=x,
+        y=y,
+        num_classes=spec.num_classes,
+        input_shape=tuple(shape),
+        task=task,
+        meta={"spec": spec.name, **spec.meta},
+    )

@@ -154,12 +154,15 @@ class ParallelExecutor(ClientExecutor):
             # either way since workers get the same initializer state.
             start_method = "fork" if sys.platform == "linux" else None
         self._ctx = multiprocessing.get_context(start_method)
-        self._init_args = (
-            model.clone(),
-            {c.client_id: c.replica() for c in clients},
-            loss,
-            optimizer,
-        )
+        # Client collections that know how to build their own replica
+        # mapping (virtual populations ship a lazy, picklable store instead
+        # of materializing every client) provide ``replicas()``; plain
+        # sequences fall back to the eager per-client dict.
+        if hasattr(clients, "replicas"):
+            replicas = clients.replicas()
+        else:
+            replicas = {c.client_id: c.replica() for c in clients}
+        self._init_args = (model.clone(), replicas, loss, optimizer)
         # In-process executor over the same replica set, for sub-min_dispatch
         # cohorts. (SerialExecutor indexes clients by id; the dict satisfies
         # that.)

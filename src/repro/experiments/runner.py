@@ -15,9 +15,10 @@ from pathlib import Path
 
 from repro.baselines import ASOFed, FedAsync, FedAvg, FedProx, TiFL
 from repro.core.fedat import FedAT
-from repro.data.datasets import make_dataset
+from repro.data.datasets import DATASETS, make_dataset, make_sample_bank
 from repro.experiments.config import SCALES, build_model_builder, make_fl_config
 from repro.metrics.history import RunHistory
+from repro.population.virtual import VirtualPopulation
 from repro.sim.latency import PAPER_DELAY_BANDS, TierDelayModel
 from repro.utils.rng import SeedSequenceFactory
 from repro.utils.serialization import load_json, save_json
@@ -25,10 +26,15 @@ from repro.utils.serialization import load_json, save_json
 __all__ = [
     "ALGORITHMS",
     "build_federation",
+    "build_virtual_population",
     "run_experiment",
     "run_cached",
     "clear_cache",
 ]
+
+#: Default evaluation-subset size for virtual-population runs (evaluating a
+#: million clients' shards is neither feasible nor what the paper reports).
+DEFAULT_VIRTUAL_EVAL_CLIENTS = 200
 
 ALGORITHMS = {
     "fedat": FedAT,
@@ -83,6 +89,47 @@ def build_federation(
     return make_dataset(dataset_name, rng, **overrides)
 
 
+def build_virtual_population(
+    dataset_name: str,
+    population: int,
+    scale: str = "bench",
+    seed: int = 0,
+    *,
+    classes_per_client: int | None | str = "default",
+    **bank_overrides,
+) -> VirtualPopulation:
+    """Build a lazily derived population of ``population`` clients.
+
+    The shared sample bank draws from ``data/<name>/bank`` — a stream
+    disjoint from the eager ``data/<name>`` federation stream — and every
+    client's shard derives on demand from ``population/client/<id>``, so
+    memory stays O(bank + active cohort) no matter how many clients enroll.
+    ``bank_overrides`` pass through to :func:`make_sample_bank`
+    (``num_samples`` plus any :class:`DatasetSpec` field).
+    """
+    preset = SCALES[scale]
+    factory = SeedSequenceFactory(seed)
+    bank_rng = factory.rng(f"data/{dataset_name}/bank")
+    overrides = dict(bank_overrides)
+    if dataset_name in ("cifar10", "fashion_mnist", "femnist"):
+        c = 3 if dataset_name == "cifar10" else 1
+        overrides.setdefault("image_shape", (preset.image_hw, preset.image_hw, c))
+    bank = make_sample_bank(dataset_name, bank_rng, **overrides)
+    spec = DATASETS[dataset_name]
+    if classes_per_client == "default":
+        classes_per_client = spec.classes_per_client
+    spc = preset.samples_per_client
+    return VirtualPopulation(
+        bank,
+        population,
+        seed=seed,
+        samples_per_client=(max(2, spc // 2), spc),
+        classes_per_client=classes_per_client,
+        writer_shift=spec.writer_shift,
+        name=dataset_name,
+    )
+
+
 def run_experiment(
     method: str,
     dataset_name: str,
@@ -91,21 +138,40 @@ def run_experiment(
     seed: int = 0,
     classes_per_client: int | None | str = "default",
     num_clients: int | None = None,
+    population: int | None = None,
     delay_counts: list[int] | None = None,
     dataset_overrides: dict | None = None,
     **fl_overrides,
 ) -> RunHistory:
-    """Run one (method, dataset) experiment and return its history."""
+    """Run one (method, dataset) experiment and return its history.
+
+    ``population`` switches the run onto a :class:`VirtualPopulation` of
+    that many lazily derived clients (memory bounded by the active cohort);
+    ``None`` keeps the eager pre-partitioned federation.
+    """
     if method not in ALGORITHMS:
         raise KeyError(f"unknown method {method!r}; options: {sorted(ALGORITHMS)}")
-    dataset = build_federation(
-        dataset_name,
-        scale,
-        seed,
-        num_clients=num_clients,
-        classes_per_client=classes_per_client,
-        **(dataset_overrides or {}),
-    )
+    if population is not None:
+        dataset = build_virtual_population(
+            dataset_name,
+            population,
+            scale,
+            seed,
+            classes_per_client=classes_per_client,
+            **(dataset_overrides or {}),
+        )
+        fl_overrides.setdefault(
+            "eval_clients", min(population, DEFAULT_VIRTUAL_EVAL_CLIENTS)
+        )
+    else:
+        dataset = build_federation(
+            dataset_name,
+            scale,
+            seed,
+            num_clients=num_clients,
+            classes_per_client=classes_per_client,
+            **(dataset_overrides or {}),
+        )
     config = make_fl_config(method, scale, seed, **fl_overrides)
     builder = build_model_builder(dataset, scale)
     delay_model = None
@@ -124,6 +190,8 @@ def run_experiment(
             ),
         }
     )
+    if population is not None:
+        history.meta["population"] = int(population)
     return history
 
 

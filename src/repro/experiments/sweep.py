@@ -72,11 +72,14 @@ SMOKE_RETIER_INTERVAL = 3
 
 @dataclass(frozen=True)
 class SweepCell:
-    """One grid point: a (method, scenario, seed) triple."""
+    """One grid point: a (method, scenario, seed[, population]) tuple."""
 
     method: str
     scenario: str
     seed: int
+    #: None = eager pre-partitioned federation; an int runs the cell on a
+    #: VirtualPopulation of that many lazily derived clients.
+    population: int | None = None
 
     @property
     def cell_id(self) -> str:
@@ -85,7 +88,8 @@ class SweepCell:
         scenario = self.scenario
         for ch in ":/\\+":
             scenario = scenario.replace(ch, "-")
-        return f"{self.method}__{scenario}__s{self.seed}"
+        suffix = "" if self.population is None else f"__p{self.population}"
+        return f"{self.method}__{scenario}__s{self.seed}{suffix}"
 
 
 @dataclass(frozen=True)
@@ -95,6 +99,9 @@ class SweepSpec:
     methods: tuple[str, ...]
     scenarios: tuple[str, ...] = ("static",)
     seeds: tuple[int, ...] = (0,)
+    #: Population axis: None = eager federation; an int = VirtualPopulation
+    #: of that many clients (the paper-scale 1M-client cells).
+    populations: tuple[int | None, ...] = (None,)
     dataset: str = "sentiment140"
     scale: str = "bench"
     classes_per_client: int | None | str = "default"
@@ -119,12 +126,19 @@ class SweepSpec:
             parse_scenario(s)  # raises ValueError on bad scenario strings
         if not self.seeds:
             raise ValueError("need at least one seed")
+        if not self.populations:
+            raise ValueError("need at least one population (None = eager federation)")
+        for p in self.populations:
+            if p is not None and (not isinstance(p, int) or p < 1):
+                raise ValueError(f"populations must be None or positive ints, got {p!r}")
 
     def cells(self) -> list[SweepCell]:
         """The grid in deterministic execution order."""
         return [
-            SweepCell(method=m, scenario=s, seed=seed)
-            for m, s, seed in product(self.methods, self.scenarios, self.seeds)
+            SweepCell(method=m, scenario=s, seed=seed, population=pop)
+            for m, s, seed, pop in product(
+                self.methods, self.scenarios, self.seeds, self.populations
+            )
         ]
 
     @staticmethod
@@ -139,7 +153,7 @@ class SweepSpec:
         unknown = set(data) - set(SweepSpec.__dataclass_fields__)
         if unknown:
             raise ValueError(f"unknown sweep config fields: {sorted(unknown)}")
-        for key in ("methods", "scenarios", "seeds"):
+        for key in ("methods", "scenarios", "seeds", "populations"):
             if key in data:
                 data[key] = tuple(data[key])
         overrides = data.get("fl_overrides", ())
@@ -249,6 +263,7 @@ class SweepRunner:
             scale=scale,
             seed=cell.seed,
             classes_per_client=self.spec.classes_per_client,
+            population=cell.population,
             **self._cell_fl_overrides(cell),
         )
         history.meta["scenario"] = cell.scenario
@@ -315,7 +330,7 @@ class SweepRunner:
                 missing += 1
                 continue
             entry = groups.setdefault(
-                (cell.method, cell.scenario),
+                (cell.method, cell.scenario, cell.population),
                 {
                     "best_accuracy": [],
                     "final_accuracy": [],
@@ -332,11 +347,11 @@ class SweepRunner:
             entry["updates"].append(int(history.rounds()[-1]))
             entry["seeds"].append(cell.seed)
         rows = {
-            f"{method}@{scenario}": {
+            f"{method}@{scenario}" + ("" if pop is None else f"#p{pop}"): {
                 k: (v if k == "seeds" else float(np.mean(v)))
                 for k, v in entry.items()
             }
-            for (method, scenario), entry in groups.items()
+            for (method, scenario, pop), entry in groups.items()
         }
         return {
             "spec_key": self._spec_key,

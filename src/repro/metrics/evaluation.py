@@ -31,9 +31,11 @@ Two operational properties matter here:
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
-from repro.data.federated import FederatedDataset
+from repro.data.federated import ClientData, FederatedDataset
 from repro.nn import plan as plan_mod
 from repro.nn.activations import softmax
 from repro.nn.losses import LOG_EPS
@@ -53,6 +55,31 @@ class Evaluator:
         max_test_per_client: int | None = None,
         eval_batch_size: int = 256,
     ):
+        self._setup(dataset.clients, model, max_test_per_client, eval_batch_size)
+
+    @classmethod
+    def from_clients(
+        cls,
+        clients: Sequence[ClientData],
+        model: Sequential,
+        *,
+        max_test_per_client: int | None = None,
+        eval_batch_size: int = 256,
+    ) -> "Evaluator":
+        """Evaluator over an explicit client subset (tier evaluators,
+        population eval subsets) without wrapping them in a throwaway
+        :class:`FederatedDataset`."""
+        self = object.__new__(cls)
+        self._setup(list(clients), model, max_test_per_client, eval_batch_size)
+        return self
+
+    def _setup(
+        self,
+        clients: Sequence[ClientData],
+        model: Sequential,
+        max_test_per_client: int | None,
+        eval_batch_size: int,
+    ) -> None:
         if eval_batch_size < 1:
             raise ValueError("eval_batch_size must be >= 1")
         # Own replica when replication is faithful; share otherwise (see
@@ -64,13 +91,17 @@ class Evaluator:
             if plan_mod.DEFAULT_TRAINING_PLAN
             else None
         )
-        if not dataset.clients:
+        if not clients:
             raise ValueError(
                 "cannot evaluate an empty federation (zero clients); "
                 "callers should skip evaluation of empty tiers"
             )
+        #: Clients backing each bounds slot, in ingestion order (duck-typed
+        #: shards without an id fall back to their slot index).
+        self.client_ids = [getattr(c, "client_id", i) for i, c in enumerate(clients)]
+        self._slot = {cid: i for i, cid in enumerate(self.client_ids)}
         xs, ys, bounds = [], [], [0]
-        for c in dataset.clients:
+        for c in clients:
             x, y = c.x_test, c.y_test
             if max_test_per_client is not None and x.shape[0] > max_test_per_client:
                 x, y = x[:max_test_per_client], y[:max_test_per_client]
@@ -85,8 +116,20 @@ class Evaluator:
     def num_samples(self) -> int:
         return int(self._x.shape[0])
 
-    def evaluate_flat(self, flat_weights: np.ndarray) -> dict[str, float]:
-        """Accuracy, loss, and per-client accuracy variance for ``flat_weights``."""
+    def evaluate_flat(
+        self,
+        flat_weights: np.ndarray,
+        *,
+        views: dict[str, Sequence[int]] | None = None,
+    ) -> dict:
+        """Accuracy, loss, and per-client accuracy variance for ``flat_weights``.
+
+        ``views`` names client-id subsets to additionally score in the same
+        forward pass (e.g. the enrolled-so-far population under an arrival
+        scenario); each view reports its client/sample counts and accuracy
+        (``None`` when the view holds no test samples) under
+        ``result["views"]``. Ids outside this evaluator are ignored.
+        """
         self._model.set_flat_weights(flat_weights)
         n = self.num_samples
         correct = np.empty(n, dtype=np.float64)
@@ -118,8 +161,27 @@ class Evaluator:
             # Drop per-layer forward caches so the evaluator's replica does
             # not pin last-chunk activations between evaluations.
             self._plan.release_caches()
-        return {
+        out = {
             "accuracy": float(correct.mean()),
             "loss": float(sample_losses.mean()),
             "accuracy_variance": float(np.var(per_client)),
+        }
+        if views is not None:
+            out["views"] = {
+                name: self._score_view(correct, ids) for name, ids in views.items()
+            }
+        return out
+
+    def _score_view(self, correct: np.ndarray, client_ids: Sequence[int]) -> dict:
+        slots = [self._slot[cid] for cid in client_ids if cid in self._slot]
+        samples = 0
+        hits = 0.0
+        for s in slots:
+            a, b = self._bounds[s], self._bounds[s + 1]
+            samples += int(b - a)
+            hits += float(correct[a:b].sum())
+        return {
+            "clients": len(slots),
+            "samples": samples,
+            "accuracy": hits / samples if samples else None,
         }

@@ -1,0 +1,12 @@
+"""Population API: eager and lazily derived client populations."""
+
+from repro.population.base import MaterializedPopulation, Population, as_population
+from repro.population.virtual import VirtualPopulation, VirtualReplicaStore
+
+__all__ = [
+    "Population",
+    "MaterializedPopulation",
+    "VirtualPopulation",
+    "VirtualReplicaStore",
+    "as_population",
+]

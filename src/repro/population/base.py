@@ -1,0 +1,257 @@
+"""The ``Population`` API: who is enrolled in the federation.
+
+:class:`~repro.core.base.FLSystem` historically materialized every client
+eagerly — a ``list[SimClient]`` each owning its data shards, batch schedule,
+and latency state — which caps populations at thousands. A ``Population``
+is the census the system asks instead: it knows how many clients exist and
+their task metadata, hands out per-client data/``SimClient`` objects on
+demand, and answers the aggregate queries (train sizes, latency profiles,
+expected latencies, evaluator construction) that used to require iterating
+the full client list.
+
+Two implementations:
+
+- :class:`MaterializedPopulation` wraps a :class:`FederatedDataset` and
+  reproduces today's eager client list bit-for-bit — every golden history
+  and the serial/parallel equivalence contract run through it unchanged.
+- :class:`~repro.population.virtual.VirtualPopulation` derives clients
+  lazily from seeded RNG over a shared :class:`~repro.data.datasets.SampleBank`,
+  holding only a bounded cache — O(active cohort) memory at any enrolled
+  size (the 1M-client FedAT demo).
+
+``as_population`` is the constructor-side adapter: systems accept a
+``Population``, a ``FederatedDataset``, or (deprecated, one release) a raw
+``list[ClientData]``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.federated import ClientData, FederatedDataset, HeldBackPool
+from repro.metrics.evaluation import Evaluator
+from repro.nn.model import Sequential
+from repro.sim.client import SimClient
+from repro.sim.latency import ResponseLatencyModel
+
+__all__ = ["Population", "MaterializedPopulation", "as_population"]
+
+
+class Population:
+    """Abstract census of the enrolled client population.
+
+    Subclasses provide the task metadata attributes (``name``,
+    ``num_classes``, ``input_shape``, ``task``, ``meta``) that model
+    builders and evaluators duck-type against — the same surface as
+    :class:`FederatedDataset`.
+
+    Lifecycle: systems call :meth:`bind` once (handing over the latency
+    model and batch-schedule parameters), after which :attr:`clients` is an
+    indexable provider of bound :class:`SimClient` objects.
+    """
+
+    name: str
+    num_classes: int
+    input_shape: tuple[int, ...]
+    task: str
+    meta: dict
+
+    @property
+    def num_clients(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def dataset(self) -> FederatedDataset | None:
+        """The wrapped eager federation, or None for lazily derived ones."""
+        return None
+
+    @property
+    def clients(self):
+        """Indexable ``clients[client_id] -> SimClient`` provider (post-bind)."""
+        raise NotImplementedError
+
+    def bind(
+        self,
+        latency_model: ResponseLatencyModel,
+        *,
+        batch_size: int,
+        seed: int,
+    ):
+        """Attach the simulation environment; returns :attr:`clients`."""
+        raise NotImplementedError
+
+    def client(self, client_id: int) -> SimClient:
+        raise NotImplementedError
+
+    def client_data(self, client_id: int) -> ClientData:
+        raise NotImplementedError
+
+    def train_sizes(self) -> np.ndarray:
+        """Training-set size per client (the ``n_k`` of Eq. 1)."""
+        raise NotImplementedError
+
+    def sample_round_latency(
+        self, client_id: int, epochs: int, rng: np.random.Generator
+    ) -> float:
+        """Draw one round's compute+delay latency for ``client_id``."""
+        raise NotImplementedError
+
+    def expected_latencies(self, epochs: int) -> np.ndarray:
+        raise NotImplementedError
+
+    def profile_latencies(self, profiler, rng: np.random.Generator) -> np.ndarray:
+        """Per-client latency estimates for tier assignment."""
+        raise NotImplementedError
+
+    def build_evaluator(
+        self,
+        model: Sequential,
+        *,
+        eval_batch_size: int = 256,
+        client_ids: Sequence[int] | None = None,
+        max_test_per_client: int | None = None,
+    ) -> Evaluator:
+        raise NotImplementedError
+
+    def hold_back(self, client_ids: Iterable[int]):
+        """Withhold the named clients behind an arrival pool."""
+        raise NotImplementedError
+
+    def materialize(self) -> FederatedDataset:
+        """Eager :class:`FederatedDataset` over the full population."""
+        raise NotImplementedError
+
+
+class MaterializedPopulation(Population):
+    """Population backed by an eager, fully partitioned federation.
+
+    This is exactly the pre-Population code path: :meth:`bind` builds the
+    same ``list[SimClient]`` (same order, same constructor arguments) that
+    ``FLSystem.__init__`` used to, so histories stay bit-identical.
+    """
+
+    def __init__(self, dataset: FederatedDataset):
+        self._dataset = dataset
+        self._clients: list[SimClient] | None = None
+        self.name = dataset.name
+        self.num_classes = dataset.num_classes
+        self.input_shape = dataset.input_shape
+        self.task = dataset.task
+        self.meta = dataset.meta
+
+    @property
+    def num_clients(self) -> int:
+        return self._dataset.num_clients
+
+    @property
+    def dataset(self) -> FederatedDataset:
+        return self._dataset
+
+    @property
+    def clients(self) -> list[SimClient]:
+        if self._clients is None:
+            raise RuntimeError("population is not bound; call bind() first")
+        return self._clients
+
+    def bind(
+        self,
+        latency_model: ResponseLatencyModel,
+        *,
+        batch_size: int,
+        seed: int,
+    ) -> list[SimClient]:
+        self._clients = [
+            SimClient(c, latency_model, batch_size=batch_size, seed=seed)
+            for c in self._dataset.clients
+        ]
+        return self._clients
+
+    def client(self, client_id: int) -> SimClient:
+        return self.clients[client_id]
+
+    def client_data(self, client_id: int) -> ClientData:
+        return self._dataset.clients[client_id]
+
+    def train_sizes(self) -> np.ndarray:
+        return self._dataset.client_sizes()
+
+    def sample_round_latency(
+        self, client_id: int, epochs: int, rng: np.random.Generator
+    ) -> float:
+        return self.clients[client_id].sample_latency(epochs, rng)
+
+    def expected_latencies(self, epochs: int) -> np.ndarray:
+        return np.array([c.expected_latency(epochs) for c in self.clients])
+
+    def profile_latencies(self, profiler, rng: np.random.Generator) -> np.ndarray:
+        return profiler.profile(self.clients, rng)
+
+    def build_evaluator(
+        self,
+        model: Sequential,
+        *,
+        eval_batch_size: int = 256,
+        client_ids: Sequence[int] | None = None,
+        max_test_per_client: int | None = None,
+    ) -> Evaluator:
+        if client_ids is None:
+            return Evaluator(
+                self._dataset,
+                model,
+                eval_batch_size=eval_batch_size,
+                max_test_per_client=max_test_per_client,
+            )
+        return Evaluator.from_clients(
+            [self._dataset.clients[int(c)] for c in client_ids],
+            model,
+            eval_batch_size=eval_batch_size,
+            max_test_per_client=max_test_per_client,
+        )
+
+    def hold_back(self, client_ids: Iterable[int]) -> HeldBackPool:
+        return self._dataset.hold_back(client_ids)
+
+    def materialize(self) -> FederatedDataset:
+        return self._dataset
+
+
+def as_population(obj) -> Population:
+    """Adapt a system constructor's first argument to a :class:`Population`.
+
+    Accepts a ``Population`` (passthrough), a ``FederatedDataset`` (wrapped
+    in a :class:`MaterializedPopulation`), or — deprecated, supported for
+    one release — a raw list/tuple of :class:`ClientData` shards, whose
+    task metadata is inferred from the shards themselves.
+    """
+    if isinstance(obj, Population):
+        return obj
+    if isinstance(obj, FederatedDataset):
+        return MaterializedPopulation(obj)
+    if isinstance(obj, (list, tuple)):
+        warnings.warn(
+            "constructing an FL system from a raw client list is deprecated "
+            "and will be removed one release after the Population API; wrap "
+            "the shards in a FederatedDataset (or a MaterializedPopulation)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        clients = list(obj)
+        if not clients or not all(isinstance(c, ClientData) for c in clients):
+            raise TypeError("raw client lists must be non-empty ClientData lists")
+        labels = np.concatenate(
+            [np.concatenate([c.y_train, c.y_test]) for c in clients]
+        )
+        dataset = FederatedDataset(
+            name="custom",
+            clients=clients,
+            num_classes=int(labels.max()) + 1,
+            input_shape=tuple(clients[0].x_train.shape[1:]),
+        )
+        return MaterializedPopulation(dataset)
+    raise TypeError(
+        f"cannot interpret {type(obj).__name__} as a Population "
+        "(expected Population, FederatedDataset, or list[ClientData])"
+    )

@@ -1,0 +1,431 @@
+"""Lazily derived client populations: millions enrolled, O(cohort) resident.
+
+Every per-client artifact — shard size, class mix, samples, train/test
+split, batch schedule — is a pure function of ``(population seed,
+client_id)`` through named :class:`~repro.utils.rng.SeedSequenceFactory`
+streams, so derivation is independent of access order: materializing client
+7 first, last, twice, or in a pool worker yields bit-identical bytes. That
+is the property the equivalence/property tests pin, and what makes a
+1M-client FedAT run reproducible while only ever holding a bounded LRU of
+live clients.
+
+Aggregate queries the schedulers need over the *whole* population (train
+sizes, latency profiles, expected latencies) are answered from O(n) numpy
+vectors — never by materializing clients.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.datasets import SampleBank
+from repro.data.federated import ClientData, FederatedDataset, train_test_split_client
+from repro.metrics.evaluation import Evaluator
+from repro.nn.model import Sequential
+from repro.population.base import Population
+from repro.sim.client import SimClient
+from repro.sim.latency import ResponseLatencyModel
+from repro.utils.rng import SeedSequenceFactory
+
+__all__ = ["VirtualPopulation", "VirtualReplicaStore"]
+
+#: Refuse to silently materialize the whole population into an evaluator
+#: above this size; callers must name an eval subset (FLConfig.eval_clients).
+MAX_FULL_EVAL_CLIENTS = 10_000
+
+
+def derive_sizes(num_clients: int, seed: int, lo: int, hi: int) -> np.ndarray:
+    """Per-client total shard sizes: one vectorized draw from a named stream.
+
+    A single int64 vector (8 MB at 1M clients) instead of per-client stream
+    setup, which would cost a SeedSequence spawn per client just to learn a
+    size. Client *content* streams stay per-client.
+    """
+    rng = SeedSequenceFactory(seed).rng("population/sizes")
+    return rng.integers(lo, hi + 1, size=num_clients)
+
+
+def train_sizes_from(sizes: np.ndarray) -> np.ndarray:
+    """Vectorized image of :func:`train_test_split_client`'s size split.
+
+    Must mirror that function exactly (``n_test = round(n * 0.2)`` clamped
+    to ``[1 if n >= 2 else 0, n - 1]``) so aggregate latency math agrees
+    with what a materialized client would report.
+    """
+    sizes = np.asarray(sizes, dtype=np.int64)
+    n_test = np.rint(sizes * 0.2).astype(np.int64)
+    n_test = np.minimum(np.maximum(n_test, (sizes >= 2).astype(np.int64)), sizes - 1)
+    return sizes - n_test
+
+
+def derive_client_data(
+    bank: SampleBank,
+    client_id: int,
+    size: int,
+    seed: int,
+    classes_per_client: int | None,
+    writer_shift: float,
+) -> ClientData:
+    """Materialize one client's shard from its private RNG stream.
+
+    Mirrors the eager ``_assemble`` pipeline per client: class-restricted
+    label draws (``classes_per_client=None`` means IID over the bank's
+    classes), class-conditional sample picks from the bank, the per-client
+    writer transform, then the standard 80/20 split.
+    """
+    rng = SeedSequenceFactory(seed).rng(f"population/client/{client_id}")
+    present = bank.present_classes
+    if classes_per_client is None:
+        labels = present[rng.integers(0, present.size, size=size)]
+    else:
+        k = min(int(classes_per_client), int(present.size))
+        chosen = np.sort(rng.choice(present, size=k, replace=False))
+        labels = chosen[rng.integers(0, k, size=size)]
+    positions = rng.integers(0, bank.class_counts[labels])
+    x = bank.x[bank.locate(labels, positions)]
+    y = labels.astype(np.int64)
+    if writer_shift:
+        strength = float(writer_shift)
+        a = 1.0 + 0.2 * strength * rng.standard_normal()
+        b = 0.3 * strength * rng.standard_normal()
+        x = a * x + b
+    return train_test_split_client(x, y, client_id, rng)
+
+
+class _LRU:
+    """Tiny bounded LRU map; the population's only per-client state."""
+
+    def __init__(self, maxsize: int):
+        self.maxsize = maxsize
+        self._items: OrderedDict = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def get(self, key):
+        if key not in self._items:
+            return None
+        self._items.move_to_end(key)
+        return self._items[key]
+
+    def put(self, key, value) -> None:
+        self._items[key] = value
+        self._items.move_to_end(key)
+        while len(self._items) > self.maxsize:
+            self._items.popitem(last=False)
+
+
+class VirtualReplicaStore:
+    """Picklable, lazily materializing client map for executor workers.
+
+    Stands in for the eager ``{client_id: SimClient.replica()}`` dict the
+    parallel executor used to ship to each worker: indexing derives the
+    client on demand (latency-model-free, like a replica) and keeps a
+    bounded cache. Caches are dropped on pickling — each worker re-derives
+    the clients it actually trains.
+    """
+
+    def __init__(
+        self,
+        bank: SampleBank,
+        num_clients: int,
+        seed: int,
+        size_range: tuple[int, int],
+        classes_per_client: int | None,
+        writer_shift: float,
+        batch_size: int,
+        schedule_seed: int,
+        cache_size: int = 512,
+    ):
+        self.bank = bank
+        self.num_clients = num_clients
+        self.seed = seed
+        self.size_range = size_range
+        self.classes_per_client = classes_per_client
+        self.writer_shift = writer_shift
+        self.batch_size = batch_size
+        self.schedule_seed = schedule_seed
+        self.cache_size = cache_size
+        self._sizes: np.ndarray | None = None
+        self._cache = _LRU(cache_size)
+
+    def __len__(self) -> int:
+        return self.num_clients
+
+    def __getitem__(self, client_id: int) -> SimClient:
+        client = self._cache.get(client_id)
+        if client is not None:
+            return client
+        if self._sizes is None:
+            lo, hi = self.size_range
+            self._sizes = derive_sizes(self.num_clients, self.seed, lo, hi)
+        data = derive_client_data(
+            self.bank,
+            client_id,
+            int(self._sizes[client_id]),
+            self.seed,
+            self.classes_per_client,
+            self.writer_shift,
+        )
+        client = SimClient(data, None, batch_size=self.batch_size, seed=self.schedule_seed)
+        self._cache.put(client_id, client)
+        return client
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_sizes"] = None
+        state["_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._cache = _LRU(self.cache_size)
+
+
+class _BoundClients:
+    """The system-facing ``clients[client_id] -> SimClient`` view."""
+
+    def __init__(self, population: "VirtualPopulation"):
+        self._population = population
+
+    def __len__(self) -> int:
+        return self._population.num_clients
+
+    def __getitem__(self, client_id: int) -> SimClient:
+        return self._population.client(client_id)
+
+    def replicas(self) -> VirtualReplicaStore:
+        return self._population.replica_store()
+
+
+class _VirtualHeldBackPool:
+    """Arrival pool over virtual clients — same interface as
+    :class:`~repro.data.federated.HeldBackPool`, without holding shards."""
+
+    def __init__(self, population: "VirtualPopulation", client_ids: Iterable[int]):
+        pending = set()
+        for cid in client_ids:
+            cid = int(cid)
+            if not 0 <= cid < population.num_clients:
+                raise ValueError(f"client {cid} not in this federation")
+            if cid in pending:
+                raise ValueError(f"client {cid} held back twice")
+            pending.add(cid)
+        self._population = population
+        self._pending = pending
+        self.released: list[int] = []
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __contains__(self, client_id: int) -> bool:
+        return int(client_id) in self._pending
+
+    def remaining(self) -> list[int]:
+        return sorted(self._pending)
+
+    def release(self, client_id: int) -> ClientData:
+        cid = int(client_id)
+        if cid not in self._pending:
+            raise KeyError(f"client {cid} is not held back (already arrived?)")
+        self._pending.remove(cid)
+        self.released.append(cid)
+        return self._population.client_data(cid)
+
+
+class VirtualPopulation(Population):
+    """Population whose clients are derived on demand from seeded RNG."""
+
+    def __init__(
+        self,
+        bank: SampleBank,
+        num_clients: int,
+        *,
+        seed: int = 0,
+        samples_per_client: int | tuple[int, int] = (20, 60),
+        classes_per_client: int | None = 2,
+        writer_shift: float = 0.0,
+        name: str | None = None,
+        cache_size: int = 1024,
+    ):
+        if num_clients < 1:
+            raise ValueError("num_clients must be >= 1")
+        if isinstance(samples_per_client, int):
+            samples_per_client = (samples_per_client, samples_per_client)
+        lo, hi = (int(samples_per_client[0]), int(samples_per_client[1]))
+        if lo < 1 or hi < lo:
+            raise ValueError(f"invalid samples_per_client range ({lo}, {hi})")
+        if classes_per_client is not None and classes_per_client < 1:
+            raise ValueError("classes_per_client must be >= 1 (or None for IID)")
+        if cache_size < 1:
+            raise ValueError("cache_size must be >= 1")
+        self.bank = bank
+        self.seed = seed
+        self.size_range = (lo, hi)
+        self.classes_per_client = classes_per_client
+        self.writer_shift = float(writer_shift)
+        self.cache_size = cache_size
+        self.name = name or f"{bank.name}@{num_clients}"
+        self.num_classes = bank.num_classes
+        self.input_shape = bank.input_shape
+        self.task = bank.task
+        self.meta = {"virtual": True, "enrolled": num_clients, **bank.meta}
+        self._num_clients = int(num_clients)
+        self._sizes: np.ndarray | None = None
+        self._train_sizes: np.ndarray | None = None
+        self._data_cache = _LRU(cache_size)
+        self._client_cache = _LRU(cache_size)
+        self._latency_model: ResponseLatencyModel | None = None
+        self._batch_size: int | None = None
+        self._schedule_seed: int | None = None
+        self._view = _BoundClients(self)
+
+    @property
+    def num_clients(self) -> int:
+        return self._num_clients
+
+    def sizes(self) -> np.ndarray:
+        if self._sizes is None:
+            lo, hi = self.size_range
+            self._sizes = derive_sizes(self._num_clients, self.seed, lo, hi)
+        return self._sizes
+
+    def train_sizes(self) -> np.ndarray:
+        if self._train_sizes is None:
+            self._train_sizes = train_sizes_from(self.sizes())
+        return self._train_sizes
+
+    # ------------------------------------------------------------------ #
+    # Binding & per-client materialization
+    # ------------------------------------------------------------------ #
+    def bind(
+        self,
+        latency_model: ResponseLatencyModel,
+        *,
+        batch_size: int,
+        seed: int,
+    ) -> _BoundClients:
+        self._latency_model = latency_model
+        self._batch_size = int(batch_size)
+        self._schedule_seed = int(seed)
+        self._client_cache = _LRU(self.cache_size)
+        return self._view
+
+    @property
+    def clients(self) -> _BoundClients:
+        if self._latency_model is None:
+            raise RuntimeError("population is not bound; call bind() first")
+        return self._view
+
+    def client_data(self, client_id: int) -> ClientData:
+        client_id = int(client_id)
+        if not 0 <= client_id < self._num_clients:
+            raise IndexError(f"client {client_id} not in population")
+        data = self._data_cache.get(client_id)
+        if data is None:
+            data = derive_client_data(
+                self.bank,
+                client_id,
+                int(self.sizes()[client_id]),
+                self.seed,
+                self.classes_per_client,
+                self.writer_shift,
+            )
+            self._data_cache.put(client_id, data)
+        return data
+
+    def client(self, client_id: int) -> SimClient:
+        if self._latency_model is None:
+            raise RuntimeError("population is not bound; call bind() first")
+        client_id = int(client_id)
+        client = self._client_cache.get(client_id)
+        if client is None:
+            client = SimClient(
+                self.client_data(client_id),
+                self._latency_model,
+                batch_size=self._batch_size,
+                seed=self._schedule_seed,
+            )
+            self._client_cache.put(client_id, client)
+        return client
+
+    def replica_store(self) -> VirtualReplicaStore:
+        if self._latency_model is None:
+            raise RuntimeError("population is not bound; call bind() first")
+        return VirtualReplicaStore(
+            self.bank,
+            self._num_clients,
+            self.seed,
+            self.size_range,
+            self.classes_per_client,
+            self.writer_shift,
+            self._batch_size,
+            self._schedule_seed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Aggregate queries (vectorized; never materialize clients)
+    # ------------------------------------------------------------------ #
+    def sample_round_latency(
+        self, client_id: int, epochs: int, rng: np.random.Generator
+    ) -> float:
+        return self._latency_model.round_latency(
+            int(client_id), int(self.train_sizes()[client_id]), epochs, rng
+        )
+
+    def expected_latencies(self, epochs: int) -> np.ndarray:
+        delays = self._latency_model.delays
+        bands = np.asarray(delays.bands, dtype=np.float64)
+        lo = bands[delays.assignment, 0]
+        hi = bands[delays.assignment, 1]
+        compute = self._latency_model.compute
+        return compute.base + compute.per_sample * self.train_sizes() * epochs + (lo + hi) / 2.0
+
+    def profile_latencies(self, profiler, rng: np.random.Generator) -> np.ndarray:
+        return profiler.profile_sizes(self._latency_model, self.train_sizes(), rng)
+
+    def build_evaluator(
+        self,
+        model: Sequential,
+        *,
+        eval_batch_size: int = 256,
+        client_ids: Sequence[int] | None = None,
+        max_test_per_client: int | None = None,
+    ) -> Evaluator:
+        if client_ids is None:
+            if self._num_clients > MAX_FULL_EVAL_CLIENTS:
+                raise ValueError(
+                    f"evaluating all {self._num_clients} virtual clients would "
+                    "materialize the full population; set FLConfig.eval_clients "
+                    "(or pass client_ids) to evaluate a fixed subset"
+                )
+            client_ids = range(self._num_clients)
+        return Evaluator.from_clients(
+            [self.client_data(int(c)) for c in client_ids],
+            model,
+            eval_batch_size=eval_batch_size,
+            max_test_per_client=max_test_per_client,
+        )
+
+    def hold_back(self, client_ids: Iterable[int]) -> _VirtualHeldBackPool:
+        return _VirtualHeldBackPool(self, client_ids)
+
+    def materialize(self) -> FederatedDataset:
+        """Eager federation over the whole population (small-n tests only)."""
+        if self._num_clients > MAX_FULL_EVAL_CLIENTS:
+            raise ValueError(
+                f"refusing to materialize {self._num_clients} clients eagerly"
+            )
+        dataset = FederatedDataset(
+            name=self.name,
+            clients=[self.client_data(c) for c in range(self._num_clients)],
+            num_classes=self.num_classes,
+            input_shape=self.input_shape,
+            task=self.task,
+            meta=dict(self.meta),
+        )
+        dataset.validate()
+        return dataset

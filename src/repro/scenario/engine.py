@@ -231,30 +231,35 @@ class ScenarioEngine:
                 raise ValueError(f"event client {ev.client_id} out of range")
             queue.schedule_at(ev.time, ev)
 
+        # Per-client timelines are sparse dicts keyed by client id — only
+        # clients an event actually touches pay storage. A million-client
+        # static (or lightly dynamic) world therefore costs O(events), not
+        # O(population); clients absent from a dict use the defaults
+        # (available, multiplier 1.0, full bandwidth, arrival at t=0).
         self.events: list[ScenarioEvent] = []
-        avail_times: list[list[float]] = [[] for _ in range(num_clients)]
-        avail_state: list[list[bool]] = [[] for _ in range(num_clients)]
-        mult_times: list[list[float]] = [[] for _ in range(num_clients)]
-        mult_values: list[list[float]] = [[] for _ in range(num_clients)]
-        bw_times: list[list[float]] = [[] for _ in range(num_clients)]
-        bw_values: list[list[float]] = [[] for _ in range(num_clients)]
-        arrival = [0.0] * num_clients
-        drift = [1.0] * num_clients
+        avail_times: dict[int, list[float]] = {}
+        avail_state: dict[int, list[bool]] = {}
+        mult_times: dict[int, list[float]] = {}
+        mult_values: dict[int, list[float]] = {}
+        bw_times: dict[int, list[float]] = {}
+        bw_values: dict[int, list[float]] = {}
+        arrival: dict[int, float] = {}
+        drift: dict[int, float] = {}
         #: Open burst episodes per client, as (episode id, factor) pairs in
         #: push order — keyed pops keep overlapping same-factor episodes
         #: from different families distinct.
-        bursts: list[list[tuple[int | None, float]]] = [[] for _ in range(num_clients)]
+        bursts: dict[int, list[tuple[int | None, float]]] = {}
 
         def push_mult(cid: int, t: float) -> None:
             # Fresh product each time so a closed burst restores the drift
             # multiplier bit-exactly (empty product is exactly 1.0).
-            mult_times[cid].append(t)
-            mult_values[cid].append(
-                drift[cid] * math.prod(f for _, f in bursts[cid])
+            mult_times.setdefault(cid, []).append(t)
+            mult_values.setdefault(cid, []).append(
+                drift.get(cid, 1.0) * math.prod(f for _, f in bursts.get(cid, ()))
             )
 
         def pop_burst(cid: int, ev: ScenarioEvent) -> None:
-            stack = bursts[cid]
+            stack = bursts.get(cid, [])
             for i, (episode, factor) in enumerate(stack):
                 # Episode identity when the compiler stamped one; factor
                 # equality only for hand-built (episode-less) event lists.
@@ -269,16 +274,16 @@ class ScenarioEngine:
             self.events.append(ev)
             cid = ev.client_id
             if ev.kind == "leave":
-                avail_times[cid].append(ev.time)
-                avail_state[cid].append(False)
+                avail_times.setdefault(cid, []).append(ev.time)
+                avail_state.setdefault(cid, []).append(False)
             elif ev.kind == "join":
-                avail_times[cid].append(ev.time)
-                avail_state[cid].append(True)
+                avail_times.setdefault(cid, []).append(ev.time)
+                avail_state.setdefault(cid, []).append(True)
             elif ev.kind == "speed":
                 drift[cid] = ev.value
                 push_mult(cid, ev.time)
             elif ev.kind == "burst_on":
-                bursts[cid].append((ev.episode, ev.value))
+                bursts.setdefault(cid, []).append((ev.episode, ev.value))
                 push_mult(cid, ev.time)
             elif ev.kind == "burst_off":
                 pop_burst(cid, ev)
@@ -286,8 +291,8 @@ class ScenarioEngine:
             elif ev.kind == "arrive":
                 arrival[cid] = ev.time  # queue-ordered: the last event wins
             elif ev.kind == "bandwidth":
-                bw_times[cid].append(ev.time)
-                bw_values[cid].append(ev.value)
+                bw_times.setdefault(cid, []).append(ev.time)
+                bw_values.setdefault(cid, []).append(ev.value)
 
         self._avail_times = avail_times
         self._avail_state = avail_state
@@ -444,9 +449,10 @@ class ScenarioEngine:
 
     def is_available(self, client_id: int, t: float) -> bool:
         """Whether the client is online (and has arrived) at time ``t``."""
-        if t < self._arrival[client_id]:
+        client_id = int(client_id)
+        if t < self._arrival.get(client_id, 0.0):
             return False
-        times = self._avail_times[client_id]
+        times = self._avail_times.get(client_id)
         if not times:
             return True
         i = bisect_right(times, t) - 1
@@ -454,9 +460,12 @@ class ScenarioEngine:
 
     def available_throughout(self, client_id: int, start: float, end: float) -> bool:
         """Online at ``start`` and never leaving during ``(start, end]``."""
+        client_id = int(client_id)
         if not self.is_available(client_id, start):
             return False
-        times = self._avail_times[client_id]
+        times = self._avail_times.get(client_id)
+        if not times:
+            return True
         state = self._avail_state[client_id]
         lo = bisect_right(times, start)
         hi = bisect_right(times, end)
@@ -464,34 +473,43 @@ class ScenarioEngine:
 
     def arrival_time(self, client_id: int) -> float:
         """When the client joins the population (0.0 = founding member)."""
-        return self._arrival[client_id]
+        return self._arrival.get(int(client_id), 0.0)
 
     def late_arrivals(self) -> list[tuple[int, float]]:
         """Clients that are absent at t=0, as ``(client_id, arrival_time)``
         pairs sorted by arrival time (ties by client id)."""
-        late = [(cid, t) for cid, t in enumerate(self._arrival) if t > 0.0]
+        late = [(cid, t) for cid, t in self._arrival.items() if t > 0.0]
         return sorted(late, key=lambda pair: (pair[1], pair[0]))
 
     def founders(self) -> list[int]:
         """Clients present at t=0 — the population a server can profile."""
-        return [cid for cid, t in enumerate(self._arrival) if t == 0.0]
+        late = {cid for cid, t in self._arrival.items() if t > 0.0}
+        if not late:
+            return list(range(self.num_clients))
+        return [cid for cid in range(self.num_clients) if cid not in late]
+
+    @property
+    def has_arrivals(self) -> bool:
+        """Whether any client arrives after t=0 (population growth)."""
+        return any(t > 0.0 for t in self._arrival.values())
 
     def bandwidth_scale(self, client_id: int, t: float) -> float:
         """Fraction of the client's nominal link bandwidth left at ``t``."""
-        times = self._bw_times[client_id]
+        times = self._bw_times.get(int(client_id))
         if not times:
             return 1.0
         i = bisect_right(times, t) - 1
-        return self._bw_values[client_id][i] if i >= 0 else 1.0
+        return self._bw_values[int(client_id)][i] if i >= 0 else 1.0
 
     @property
     def has_bandwidth_events(self) -> bool:
         """Whether any client's link bandwidth changes over the run."""
-        return any(self._bw_times)
+        return bool(self._bw_times)
 
     def latency_multiplier(self, client_id: int, t: float) -> float:
         """Combined drift × burst slowdown factor at time ``t``."""
-        times = self._mult_times[client_id]
+        client_id = int(client_id)
+        times = self._mult_times.get(client_id)
         if not times:
             return 1.0
         i = bisect_right(times, t) - 1
@@ -505,6 +523,8 @@ class ScenarioEngine:
         forever. Candidate times are churn rejoins and late arrivals; each
         counts only if the client is genuinely available at that instant.
         """
+        if not self._arrival and not self._avail_times:
+            return None  # nobody ever leaves or arrives late
         best: float | None = None
 
         def consider(cid: int, when: float) -> bool:
@@ -517,9 +537,10 @@ class ScenarioEngine:
             return True
 
         for cid in client_ids:
-            consider(cid, self._arrival[cid])
-            times = self._avail_times[cid]
-            state = self._avail_state[cid]
+            cid = int(cid)
+            consider(cid, self._arrival.get(cid, 0.0))
+            times = self._avail_times.get(cid, ())
+            state = self._avail_state.get(cid, ())
             for i in range(bisect_right(times, t), len(times)):
                 # Stop at the first *genuine* join (later ones can't beat
                 # it); a rejoin scheduled before the client's arrival is

@@ -34,6 +34,10 @@ class UnstableClientPolicy:
         ids = rng.choice(num_clients, size=num_unstable, replace=False)
         times = rng.uniform(0.0, horizon, size=num_unstable)
         self._dropout_time = dict(zip(ids.tolist(), times.tolist()))
+        # Array mirrors for the vectorized path (alive_array): filtering a
+        # million-client tier pool must not loop per candidate.
+        self._unstable_ids = np.asarray(ids, dtype=np.int64)
+        self._unstable_times = np.asarray(times, dtype=np.float64)
 
     @property
     def unstable_ids(self) -> list[int]:
@@ -51,6 +55,14 @@ class UnstableClientPolicy:
     def alive_clients(self, client_ids, now: float) -> list[int]:
         """Filter a candidate list down to clients alive at ``now``."""
         return [c for c in client_ids if self.is_alive(c, now)]
+
+    def alive_array(self, client_ids: np.ndarray, now: float) -> np.ndarray:
+        """Vectorized :meth:`alive_clients`: same membership and order."""
+        ids = np.asarray(client_ids, dtype=np.int64)
+        dead = self._unstable_ids[self._unstable_times <= now]
+        if dead.size == 0:
+            return ids
+        return ids[~np.isin(ids, dead)]
 
     def will_complete(self, client_id: int, start: float, end: float) -> bool:
         """Whether a round spanning [start, end] finishes before dropout."""

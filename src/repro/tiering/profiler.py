@@ -53,6 +53,43 @@ class LatencyProfiler:
                 c.sample_latency(self.epochs, rng) for _ in range(self.probe_rounds)
             ]
             lat[i] = float(np.mean(probes))
+        return self._corrupt(lat, rng)
+
+    def profile_sizes(
+        self,
+        latency_model,
+        train_sizes: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Vectorized :meth:`profile` over train-set sizes (no client objects).
+
+        Bit-identical to profiling the equivalent materialized clients one by
+        one: a probe is ``compute.duration + sampled delay``, delay draws
+        happen client-major/probe-minor and only for clients whose band has
+        width (exactly the draws :meth:`profile` makes — element-wise
+        ``rng.uniform`` over arrays consumes the stream in the same order as
+        the scalar calls), and the probe mean reduces each row the same way
+        ``np.mean`` reduces a probe list.
+        """
+        sizes = np.asarray(train_sizes, dtype=np.int64)
+        compute = latency_model.compute
+        duration = compute.base + compute.per_sample * sizes * self.epochs
+        bands = np.asarray(latency_model.delays.bands, dtype=float)
+        assignment = latency_model.delays.assignment
+        lo = bands[assignment, 0]
+        hi = bands[assignment, 1]
+        p = self.probe_rounds
+        delays = np.repeat(lo, p).reshape(sizes.size, p)
+        mask = hi > lo
+        m = int(np.count_nonzero(mask))
+        if m:
+            draws = rng.uniform(np.repeat(lo[mask], p), np.repeat(hi[mask], p))
+            delays[mask] = draws.reshape(m, p)
+        lat = (duration[:, None] + delays).mean(axis=1)
+        return self._corrupt(lat, rng)
+
+    def _corrupt(self, lat: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Measurement noise + mis-profiling, shared by both profile paths."""
         if self.noise_std > 0:
             lat = np.maximum(lat + rng.normal(0, self.noise_std, lat.size), 0.0)
         if self.misprofile_fraction > 0:

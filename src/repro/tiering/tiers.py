@@ -18,10 +18,19 @@ class Tiering:
         if not tiers:
             raise ValueError("need at least one tier")
         self.tiers = [np.asarray(t, dtype=np.int64) for t in tiers]
-        seen = np.concatenate(self.tiers) if self.tiers else np.empty(0)
-        if seen.size != np.unique(seen).size:
+        # Sorted-array membership index instead of a python dict: a dict of
+        # 1M int keys costs ~100 MB; two int64 vectors cost 16 MB and give
+        # O(log n) tier_of via searchsorted.
+        all_ids = np.concatenate(self.tiers)
+        tier_idx = np.repeat(
+            np.arange(len(self.tiers), dtype=np.int64),
+            [t.size for t in self.tiers],
+        )
+        order = np.argsort(all_ids, kind="stable")
+        self._sorted_ids = all_ids[order]
+        self._sorted_tiers = tier_idx[order]
+        if np.any(self._sorted_ids[1:] == self._sorted_ids[:-1]):
             raise ValueError("a client appears in more than one tier")
-        self._tier_of = {int(c): m for m, t in enumerate(self.tiers) for c in t}
 
     @staticmethod
     def from_latencies(
@@ -68,14 +77,23 @@ class Tiering:
     def num_clients(self) -> int:
         return sum(t.size for t in self.tiers)
 
+    def _find(self, client_id: int) -> int:
+        i = int(np.searchsorted(self._sorted_ids, client_id))
+        if i < self._sorted_ids.size and self._sorted_ids[i] == client_id:
+            return i
+        return -1
+
     def tier_of(self, client_id: int) -> int:
         """Tier index of a client (KeyError for unknown ids)."""
-        return self._tier_of[int(client_id)]
+        i = self._find(int(client_id))
+        if i < 0:
+            raise KeyError(int(client_id))
+        return int(self._sorted_tiers[i])
 
     def __contains__(self, client_id: int) -> bool:
         """Whether the client is assigned to any tier (arrival scenarios
         tier only the part of the population that has arrived)."""
-        return int(client_id) in self._tier_of
+        return self._find(int(client_id)) >= 0
 
     def clients_in(self, tier: int) -> np.ndarray:
         return self.tiers[tier]

@@ -99,17 +99,19 @@ class TestFedAsync:
 class TestASOFed:
     def test_global_is_mean_of_copies(self, tiny_image_dataset):
         system, _ = _run(ASOFed, tiny_image_dataset, max_rounds=10)
-        expected = np.mean(system._copies, axis=0)
+        copies = [system.copy_of(c) for c in range(system.num_clients)]
+        expected = np.mean(copies, axis=0)
         np.testing.assert_allclose(system.global_weights, expected, atol=1e-10)
 
     def test_copy_installation(self, tiny_image_dataset):
         system, _ = _run(ASOFed, tiny_image_dataset, max_rounds=2)
         w = system.global_weights.copy()
         new = np.ones_like(w)
-        system._install_copy(3, new)
-        np.testing.assert_array_equal(system._copies[3], new)
+        system._install_copy(3, new, 0)
+        np.testing.assert_array_equal(system.copy_of(3), new)
+        copies = [system.copy_of(c) for c in range(system.num_clients)]
         np.testing.assert_allclose(
-            system.global_weights, np.mean(system._copies, axis=0), atol=1e-10
+            system.global_weights, np.mean(copies, axis=0), atol=1e-10
         )
 
     def test_single_update_moves_global_by_1_over_k(self, tiny_image_dataset):
@@ -117,7 +119,7 @@ class TestASOFed:
         k = tiny_image_dataset.num_clients
         g0 = system.global_weights.copy()
         delta = np.ones_like(g0)
-        system._install_copy(0, system._copies[0] + delta)
+        system._install_copy(0, system.copy_of(0) + delta, 0)
         np.testing.assert_allclose(system.global_weights - g0, delta / k, atol=1e-10)
 
     def test_uses_local_constraint(self, tiny_image_dataset):

@@ -1,0 +1,127 @@
+"""StalenessPolicy: parsing, factor semantics, and server integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import FLConfig
+from repro.core.fedat import FedAT
+from repro.core.server import TieredServer
+from repro.core.staleness import StalenessPolicy
+from repro.experiments.config import build_model_builder
+
+
+class TestParse:
+    def test_none_passthrough(self):
+        assert StalenessPolicy.parse(None) is None
+
+    def test_kind_only(self):
+        p = StalenessPolicy.parse("poly")
+        assert p.kind == "poly" and p.a == 0.5
+
+    def test_full_spec(self):
+        p = StalenessPolicy.parse("hinge:0.25:6")
+        assert (p.kind, p.a, p.b) == ("hinge", 0.25, 6.0)
+
+    def test_empty_parts_take_defaults(self):
+        p = StalenessPolicy.parse("hinge::8")
+        assert (p.a, p.b) == (0.5, 8.0)
+
+    def test_rejects_bad_specs(self):
+        for spec in ("exp", "poly:x", "poly:0.5:4", "constant:1:2:3"):
+            with pytest.raises(ValueError):
+                StalenessPolicy.parse(spec)
+
+
+class TestFactor:
+    def test_constant_is_one_everywhere(self):
+        p = StalenessPolicy("constant")
+        assert p.is_constant
+        assert [p.factor(s) for s in (0, 1, 100)] == [1.0, 1.0, 1.0]
+
+    def test_poly_decays_from_one(self):
+        p = StalenessPolicy("poly", a=0.5)
+        vals = [p.factor(s) for s in range(6)]
+        assert vals[0] == 1.0
+        assert vals == sorted(vals, reverse=True)
+        assert p.factor(3) == pytest.approx((1 + 3) ** -0.5)
+
+    def test_hinge_flat_then_decays(self):
+        p = StalenessPolicy("hinge", a=0.5, b=4.0)
+        assert p.factor(4) == 1.0
+        assert p.factor(6) == pytest.approx(1.0 / (0.5 * 2 + 1))
+
+    def test_negative_staleness_rejected(self):
+        with pytest.raises(ValueError):
+            StalenessPolicy("poly").factor(-1)
+
+
+class TestTieredServerModulation:
+    def _server(self, policy):
+        return TieredServer(np.zeros(4), 3, staleness=policy)
+
+    def test_constant_policy_matches_no_policy(self):
+        a = self._server(None)
+        b = self._server(StalenessPolicy("constant"))
+        for server in (a, b):
+            server.submit_tier_update(0, np.ones(4))
+            server.submit_tier_update(1, np.full(4, 2.0))
+            server.submit_tier_update(0, np.full(4, 3.0))
+        np.testing.assert_array_equal(a.global_weights, b.global_weights)
+        np.testing.assert_array_equal(a.tier_weight_vector(), b.tier_weight_vector())
+
+    def test_stale_tier_downweighted(self):
+        # Two tiers: under §4.2 mirror weighting tier 0 carries tier 1's
+        # update share, so after tier 1 races ahead tier 0's *model* is the
+        # stale, heavily weighted one — exactly what damping must shrink.
+        plain = TieredServer(np.zeros(4), 2)
+        damped = TieredServer(np.zeros(4), 2, staleness=StalenessPolicy("poly", a=0.5))
+        for server in (plain, damped):
+            server.submit_tier_update(0, np.ones(4))
+            for _ in range(5):  # tier 1 keeps updating; tier 0 goes stale
+                server.submit_tier_update(1, np.full(4, 10.0))
+        assert damped.tier_weight_vector()[0] < plain.tier_weight_vector()[0]
+        assert damped.global_weights[0] > plain.global_weights[0]
+
+    def test_submitting_tier_has_zero_staleness(self):
+        server = self._server(StalenessPolicy("poly", a=0.5))
+        server.submit_tier_update(2, np.ones(4))
+        assert server._last_update[2] == server.total_updates
+
+
+class TestSystemIntegration:
+    def test_fedat_constant_staleness_is_bit_identical(self, tiny_bow_dataset):
+        """`staleness="constant"` must not perturb the paper's §4.2
+        weighting — histories stay bit-identical to the default."""
+        def run(**over):
+            config = FLConfig(
+                clients_per_round=4, local_epochs=1, num_tiers=3,
+                max_rounds=8, max_time=300.0, eval_every=4, num_unstable=2,
+                seed=0, compression=None, **over,
+            )
+            builder = build_model_builder(tiny_bow_dataset, "tiny")
+            h = FedAT(tiny_bow_dataset, builder, config).run()
+            d = h.to_dict()
+            d["meta"].pop("phase_seconds", None)
+            return d
+
+        assert run() == run(staleness="constant")
+
+    def test_fedat_poly_staleness_changes_weighting(self, tiny_bow_dataset):
+        def run(**over):
+            config = FLConfig(
+                clients_per_round=4, local_epochs=1, num_tiers=3,
+                max_rounds=12, max_time=300.0, eval_every=4, num_unstable=2,
+                seed=0, compression=None, **over,
+            )
+            builder = build_model_builder(tiny_bow_dataset, "tiny")
+            return FedAT(tiny_bow_dataset, builder, config).run()
+
+        base = run()
+        damped = run(staleness="poly:0.5")
+        assert [r.accuracy for r in base.records] != [
+            r.accuracy for r in damped.records
+        ]
+
+    def test_config_validates_staleness_spec(self):
+        with pytest.raises(ValueError):
+            FLConfig(staleness="exponential")

@@ -1,0 +1,91 @@
+"""Public Population API surface: adapters, deprecation shim, exports."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.config import FLConfig
+from repro.baselines.fedavg import FedAvg
+from repro.experiments.config import build_model_builder
+from repro.population.base import MaterializedPopulation, Population, as_population
+
+
+class TestAsPopulation:
+    def test_population_passthrough(self, tiny_bow_dataset):
+        pop = MaterializedPopulation(tiny_bow_dataset)
+        assert as_population(pop) is pop
+
+    def test_dataset_wrapped(self, tiny_bow_dataset):
+        pop = as_population(tiny_bow_dataset)
+        assert isinstance(pop, MaterializedPopulation)
+        assert pop.dataset is tiny_bow_dataset
+        assert pop.num_clients == tiny_bow_dataset.num_clients
+
+    def test_raw_client_list_warns_and_works(self, tiny_bow_dataset):
+        with pytest.warns(DeprecationWarning, match="raw client list"):
+            pop = as_population(list(tiny_bow_dataset.clients))
+        assert pop.num_clients == tiny_bow_dataset.num_clients
+        assert pop.num_classes == tiny_bow_dataset.num_classes
+        assert pop.input_shape == tiny_bow_dataset.input_shape
+
+    def test_system_accepts_raw_client_list(self, tiny_bow_dataset):
+        """The one-release compatibility shim: an FL system built from a raw
+        shard list still runs (with a DeprecationWarning)."""
+        config = FLConfig(
+            clients_per_round=4, local_epochs=1, max_rounds=2,
+            max_time=100.0, eval_every=1, num_unstable=0, seed=0,
+            compression=None,
+        )
+        builder = build_model_builder(tiny_bow_dataset, "tiny")
+        with pytest.warns(DeprecationWarning):
+            system = FedAvg(list(tiny_bow_dataset.clients), builder, config)
+        history = system.run()
+        assert history.records
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError, match="Population"):
+            as_population(42)
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError):
+                as_population([1, 2, 3])
+
+
+class TestMaterializedPopulation:
+    def test_unbound_access_raises(self, tiny_bow_dataset):
+        pop = MaterializedPopulation(tiny_bow_dataset)
+        with pytest.raises(RuntimeError, match="bind"):
+            _ = pop.clients
+
+    def test_train_sizes_match_dataset(self, tiny_bow_dataset):
+        pop = MaterializedPopulation(tiny_bow_dataset)
+        np.testing.assert_array_equal(
+            pop.train_sizes(), tiny_bow_dataset.client_sizes()
+        )
+
+    def test_materialize_is_identity(self, tiny_bow_dataset):
+        pop = MaterializedPopulation(tiny_bow_dataset)
+        assert pop.materialize() is tiny_bow_dataset
+
+
+class TestPublicExports:
+    def test_top_level_surface(self):
+        for name in (
+            "Population",
+            "MaterializedPopulation",
+            "VirtualPopulation",
+            "as_population",
+            "parse_scenario",
+            "FLConfig",
+            "StalenessPolicy",
+            "ALGORITHMS",
+            "run_experiment",
+            "build_virtual_population",
+        ):
+            assert name in repro.__all__
+            assert getattr(repro, name) is not None
+
+    def test_population_is_abstract_contract(self):
+        base = Population()
+        with pytest.raises(NotImplementedError):
+            _ = base.num_clients
+        assert base.dataset is None

@@ -1,0 +1,197 @@
+"""VirtualPopulation correctness: order-independence, aggregate math,
+materialize equivalence, pickling, and profiling bit-identity."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import make_sample_bank
+from repro.population.base import MaterializedPopulation
+from repro.population.virtual import (
+    VirtualPopulation,
+    derive_sizes,
+    train_sizes_from,
+)
+from repro.sim.latency import ComputeModel, ResponseLatencyModel, TierDelayModel
+from repro.tiering.profiler import LatencyProfiler
+
+
+def _bank(seed=7, n=256):
+    return make_sample_bank("sentiment140", np.random.default_rng(seed), num_samples=n)
+
+
+def _population(num_clients=20, seed=11, **kw):
+    kw.setdefault("samples_per_client", (8, 20))
+    return VirtualPopulation(_bank(), num_clients, seed=seed, **kw)
+
+
+def _latency_model(n):
+    delays = TierDelayModel.even_split(n, np.random.default_rng(0),
+                                       bands=((0.0, 0.0), (1.0, 3.0), (5.0, 9.0)))
+    return ResponseLatencyModel(delays, ComputeModel(per_sample=0.01, base=0.1))
+
+
+def _assert_same_client(a, b):
+    np.testing.assert_array_equal(a.x_train, b.x_train)
+    np.testing.assert_array_equal(a.y_train, b.y_train)
+    np.testing.assert_array_equal(a.x_test, b.x_test)
+    np.testing.assert_array_equal(a.y_test, b.y_test)
+
+
+class TestOrderIndependence:
+    def test_any_access_order_is_bit_identical(self):
+        """Forward, reverse, and random-with-repeats access all derive the
+        same bytes for every client — the core virtual-population property."""
+        ref = _population()
+        forward = {c: ref.client_data(c) for c in range(ref.num_clients)}
+        orders = [
+            list(reversed(range(20))),
+            list(np.random.default_rng(3).integers(0, 20, size=40)),
+        ]
+        for order in orders:
+            other = _population()
+            for c in order:
+                _assert_same_client(other.client_data(int(c)), forward[int(c)])
+
+    def test_cache_eviction_rederives_identically(self):
+        small = _population(cache_size=2)
+        ref = _population()
+        first = {c: ref.client_data(c) for c in range(6)}
+        for c in range(6):  # walk forward twice: everything evicts in between
+            small.client_data(c)
+        for c in range(6):
+            _assert_same_client(small.client_data(c), first[c])
+
+    def test_different_seeds_differ(self):
+        a = _population(seed=1).client_data(0)
+        b = _population(seed=2).client_data(0)
+        assert not np.array_equal(a.x_train, b.x_train)
+
+
+class TestAggregates:
+    def test_sizes_deterministic_and_in_range(self):
+        sizes = derive_sizes(1000, 5, 8, 20)
+        np.testing.assert_array_equal(sizes, derive_sizes(1000, 5, 8, 20))
+        assert sizes.min() >= 8 and sizes.max() <= 20
+
+    def test_train_sizes_mirror_materialized_split(self):
+        pop = _population()
+        train = pop.train_sizes()
+        for c in range(pop.num_clients):
+            data = pop.client_data(c)
+            assert int(train[c]) == data.x_train.shape[0]
+            assert int(pop.sizes()[c]) == data.x_train.shape[0] + data.x_test.shape[0]
+
+    def test_train_sizes_from_edge_cases(self):
+        np.testing.assert_array_equal(
+            train_sizes_from(np.array([1, 2, 3, 5, 10])), [1, 1, 2, 4, 8]
+        )
+
+    def test_expected_latencies_vectorized(self):
+        pop = _population()
+        model = _latency_model(pop.num_clients)
+        pop.bind(model, batch_size=5, seed=0)
+        expected = pop.expected_latencies(epochs=2)
+        bands = np.asarray(model.delays.bands)
+        for c in range(pop.num_clients):
+            lo, hi = bands[model.delays.assignment[c]]
+            n = int(pop.train_sizes()[c])
+            manual = 0.1 + 0.01 * n * 2 + (lo + hi) / 2.0
+            assert expected[c] == pytest.approx(manual)
+
+
+class TestMaterializeEquivalence:
+    def test_materialize_matches_lazy_derivation(self):
+        pop = _population()
+        dataset = pop.materialize()
+        assert dataset.num_clients == pop.num_clients
+        fresh = _population()
+        for c in range(pop.num_clients):
+            _assert_same_client(dataset.clients[c], fresh.client_data(c))
+
+    def test_profile_sizes_matches_client_profiling(self):
+        """Vectorized size-based profiling is bitwise equal to probing the
+        equivalent materialized clients — including noise + misprofiling."""
+        pop = _population(num_clients=30)
+        model = _latency_model(30)
+        bound = MaterializedPopulation(pop.materialize()).bind(
+            model, batch_size=5, seed=0
+        )
+        profiler = LatencyProfiler(
+            epochs=2, probe_rounds=3, noise_std=0.2, misprofile_fraction=0.2
+        )
+        eager = profiler.profile(list(bound), np.random.default_rng(42))
+        lazy = profiler.profile_sizes(
+            model, pop.train_sizes(), np.random.default_rng(42)
+        )
+        np.testing.assert_array_equal(eager, lazy)
+
+    def test_sample_round_latency_matches_simclient(self):
+        pop = _population()
+        model = _latency_model(pop.num_clients)
+        clients = pop.bind(model, batch_size=5, seed=0)
+        for c in (0, 7, 19):
+            a = pop.sample_round_latency(c, 2, np.random.default_rng(c))
+            b = clients[c].sample_latency(2, np.random.default_rng(c))
+            assert a == b
+
+
+class TestReplicaStore:
+    def test_pickle_roundtrip_derives_identical_clients(self):
+        pop = _population()
+        pop.bind(_latency_model(pop.num_clients), batch_size=5, seed=0)
+        store = pop.replica_store()
+        clone = pickle.loads(pickle.dumps(store))
+        for c in (0, 5, 19):
+            _assert_same_client(store[c].data, clone[c].data)
+            assert clone[c].latency_model is None
+            assert clone[c].batch_size == store[c].batch_size
+
+    def test_clients_view_exposes_replicas_hook(self):
+        pop = _population()
+        clients = pop.bind(_latency_model(pop.num_clients), batch_size=5, seed=0)
+        assert hasattr(clients, "replicas")
+        assert len(clients.replicas()) == pop.num_clients
+
+
+class TestGuards:
+    def test_full_eval_refused_beyond_cap(self):
+        pop = VirtualPopulation(_bank(), 10_001, seed=0)
+        with pytest.raises(ValueError, match="eval_clients"):
+            pop.build_evaluator(model=None)
+
+    def test_materialize_refused_beyond_cap(self):
+        pop = VirtualPopulation(_bank(), 10_001, seed=0)
+        with pytest.raises(ValueError, match="materialize"):
+            pop.materialize()
+
+    def test_unbound_population_raises(self):
+        pop = _population()
+        with pytest.raises(RuntimeError, match="bind"):
+            pop.client(0)
+
+    def test_bad_ranges(self):
+        with pytest.raises(ValueError):
+            VirtualPopulation(_bank(), 0)
+        with pytest.raises(ValueError):
+            _population(samples_per_client=(10, 5))
+
+
+class TestHoldBack:
+    def test_virtual_pool_release_semantics(self):
+        pop = _population()
+        pool = pop.hold_back([3, 5])
+        assert len(pool) == 2 and 3 in pool and 5 in pool
+        data = pool.release(3)
+        _assert_same_client(data, pop.client_data(3))
+        assert pool.released == [3] and pool.remaining() == [5]
+        with pytest.raises(KeyError):
+            pool.release(3)
+
+    def test_duplicate_and_out_of_range_rejected(self):
+        pop = _population()
+        with pytest.raises(ValueError):
+            pop.hold_back([1, 1])
+        with pytest.raises(ValueError):
+            pop.hold_back([pop.num_clients])
