@@ -87,12 +87,17 @@ class FedAsync(FLSystem):
             )
 
     def _run(self) -> RunHistory:
-        queue = EventQueue()
-        self.record_eval()
-        self._launch_cohort(self.alive(range(self.num_clients), 0.0), queue)
-        # Late arrivals enter the same continuous-training loop on arrival.
-        self.schedule_arrival_launches(queue)
+        if self._resumed:
+            # Checkpointed queue carries every in-flight client cycle.
+            queue: EventQueue = self._resume_queue
+        else:
+            queue = EventQueue()
+            self.record_eval()
+            self._launch_cohort(self.alive(range(self.num_clients), 0.0), queue)
+            # Late arrivals enter the same continuous-training loop on arrival.
+            self.schedule_arrival_launches(queue)
         while not queue.empty and not self.budget_exhausted():
+            self._maybe_checkpoint(queue)
             ev = queue.pop()
             self.now = ev.time
             if isinstance(ev.payload, RelaunchClient):

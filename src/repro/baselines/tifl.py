@@ -56,6 +56,14 @@ class TiFL(SyncFLSystem):
         self.retier_tracker = self.make_retier_tracker()
         self._tier_evaluators = self._build_tier_evaluators()
 
+    # Evaluators hold dataset references; rebuilt from the restored
+    # tiering on checkpoint resume instead of being pickled.
+    _CHECKPOINT_EXCLUDE = SyncFLSystem._CHECKPOINT_EXCLUDE | {"_tier_evaluators"}
+
+    def _post_restore(self) -> None:
+        super()._post_restore()
+        self._tier_evaluators = self._build_tier_evaluators()
+
     def _build_tier_evaluators(self) -> list[Evaluator | None]:
         """Per-tier evaluators over each tier's client test shards.
 

@@ -83,6 +83,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--retier-interval", type=int, default=None,
                        help="rounds between online re-tiers for fedat/tifl "
                        "(0 = static tiers)")
+    run_p.add_argument("--faults", default=None,
+                       help='deterministic chaos injection into the parallel '
+                       'executor, e.g. "crash:0.2", "hang:0.1", "corrupt:0.1" '
+                       'or a "+"-composition ("crash:0.2+corrupt:0.1"); '
+                       "requires --executor parallel")
+    run_p.add_argument("--chunk-timeout", type=float, default=None,
+                       help="per-chunk wall-clock deadline (s) before the "
+                       "supervisor respawns the pool and redispatches "
+                       "(required for hang faults)")
+    run_p.add_argument("--chunk-retries", type=int, default=None,
+                       help="redispatch budget per chunk (default: 3)")
+    run_p.add_argument("--no-fault-degrade", action="store_true",
+                       help="raise ExecutorFaultError after the retry budget "
+                       "instead of degrading the chunk to in-process serial "
+                       "execution")
+    run_p.add_argument("--guard", default=None,
+                       help='update quarantine before every aggregation: '
+                       '"reject[:max_norm]", "clip[:max_norm]" or '
+                       '"abort[:max_norm]" (max_norm defaults to 1e6)')
+    run_p.add_argument("--checkpoint-dir", default=None,
+                       help="enable round-granular in-run checkpointing "
+                       "(atomic writes; a killed run resumes bit-identically "
+                       "with --resume)")
+    run_p.add_argument("--checkpoint-every", type=int, default=None,
+                       help="global updates between checkpoints (default: 1)")
+    run_p.add_argument("--resume", action="store_true",
+                       help="resume from the checkpoint in --checkpoint-dir "
+                       "(fresh start when none exists)")
     run_p.add_argument("--out", default=None, help="write history JSON here")
 
     cmp_p = sub.add_parser("compare", help="run several methods side by side")
@@ -192,6 +220,16 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         kwargs["scenario"] = args.scenario
     if getattr(args, "retier_interval", None) is not None:
         kwargs["retier_interval"] = args.retier_interval
+    if getattr(args, "faults", None) is not None:
+        kwargs["faults"] = args.faults
+    if getattr(args, "chunk_timeout", None) is not None:
+        kwargs["chunk_timeout"] = args.chunk_timeout
+    if getattr(args, "chunk_retries", None) is not None:
+        kwargs["chunk_retries"] = args.chunk_retries
+    if getattr(args, "no_fault_degrade", False):
+        kwargs["fault_degrade"] = False
+    if getattr(args, "guard", None) is not None:
+        kwargs["guard"] = args.guard
     return kwargs
 
 
@@ -220,9 +258,18 @@ def _parse_populations(text: str) -> tuple[int | None, ...]:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    kwargs = _run_kwargs(args)
+    if args.resume and args.checkpoint_dir is None:
+        print("--resume needs --checkpoint-dir", file=sys.stderr)
+        return 2
+    if args.checkpoint_dir is not None:
+        kwargs["checkpoint_dir"] = args.checkpoint_dir
+        kwargs["resume"] = args.resume
+        if args.checkpoint_every is not None:
+            kwargs["checkpoint_every"] = args.checkpoint_every
     history = run_experiment(
         args.method, args.dataset, scale=args.scale, seed=args.seed,
-        **_run_kwargs(args),
+        **kwargs,
     )
     print(f"method         : {history.method}")
     print(f"dataset        : {history.dataset}")

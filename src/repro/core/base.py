@@ -176,6 +176,16 @@ class FLSystem:
         # Per-client batch-schedule cursors live with the system (not the
         # executor) so every backend replays identical mini-batch orders.
         self._epoch_cursor = np.zeros(self.num_clients, dtype=np.int64)
+        # Deterministic chaos: the fault plan draws injections from seeded
+        # per-family substreams, so the executor's failure schedule is as
+        # reproducible as the simulation it stresses.
+        fault_plan = None
+        if config.faults is not None and config.executor == "parallel":
+            from repro.exec.faults import FaultPlan, parse_faults
+
+            fault_spec = parse_faults(config.faults)
+            if fault_spec is not None:
+                fault_plan = FaultPlan(fault_spec, seed=config.seed)
         self.executor = make_executor(
             config.executor,
             model=self.worker,
@@ -183,7 +193,17 @@ class FLSystem:
             loss=self.loss,
             optimizer=self.optimizer_spec(),
             num_workers=config.num_workers,
+            faults=fault_plan,
+            chunk_timeout=config.chunk_timeout,
+            chunk_retries=config.chunk_retries,
+            degrade=config.fault_degrade,
         )
+        # Update quarantine: every aggregation path routes client results
+        # through the guard (when configured) before they can touch the
+        # global model.
+        from repro.core.guard import UpdateGuard
+
+        self.guard = UpdateGuard.parse(config.guard)
 
         self.history = RunHistory(
             method=self.name,
@@ -202,6 +222,11 @@ class FLSystem:
         self.global_weights = self.initial_flat.copy()
         self.round = 0  # global update counter (t in Algorithm 2)
         self.now = 0.0
+        #: In-run checkpointing (see :meth:`attach_checkpointer`); None
+        #: runs unprotected, exactly as before checkpoints existed.
+        self._checkpointer = None
+        self._resume_queue = None
+        self._resumed = False
 
     # ------------------------------------------------------------------ #
     # Building blocks
@@ -421,6 +446,21 @@ class FLSystem:
         with self.timers.phase("train"):
             return self.executor.run_cohort(start_weights, tasks)
 
+    def guard_results(
+        self, results: list[LocalTrainingResult], reference: np.ndarray
+    ) -> list[LocalTrainingResult]:
+        """Quarantine-filter a cohort's results (no-op without a guard).
+
+        ``reference`` is the snapshot the cohort departed from; the
+        returned list is what aggregation may consume (clip rebinds
+        weights in place, reject omits the result, abort raises).
+        """
+        if self.guard is None or not results:
+            return list(results)
+        return self.guard.filter(
+            results, reference, round_no=self.round, time=self.now
+        )
+
     def train_client(
         self,
         client_id: int,
@@ -463,7 +503,16 @@ class FLSystem:
             self.observe_latency(cid, latency)
             tasks.append(self.make_task(cid, latency, lam=lam))
             finishes.append(finish)
-        return list(zip(self.train_cohort(tasks, received), finishes)), deferred
+        trained = self.train_cohort(tasks, received)
+        kept = self.guard_results(trained, received)
+        if len(kept) != len(trained):
+            # Re-pair finish times with the surviving results (client ids
+            # are unique within a cohort, so identity pairing is exact).
+            keep_ids = {id(r) for r in kept}
+            return [
+                (r, f) for r, f in zip(trained, finishes) if id(r) in keep_ids
+            ], deferred
+        return list(zip(kept, finishes)), deferred
 
     def schedule_relaunches(self, queue, deferred: list[int]) -> None:
         """Schedule :class:`RelaunchClient` events at each churned client's
@@ -562,6 +611,96 @@ class FLSystem:
         return new
 
     # ------------------------------------------------------------------ #
+    # In-run checkpoint / resume
+    # ------------------------------------------------------------------ #
+    #: Attributes NOT captured in a checkpoint: everything ``__init__``
+    #: deterministically reconstructs from the config (dataset, worker
+    #: model, environment models, executor pools), plus the checkpoint
+    #: plumbing itself. Capturing the rest of ``vars(self)`` — RNG
+    #: generators with their stream positions, meters, histories, epoch
+    #: cursors, server state — is exactly what resuming mid-run needs.
+    #: Subclasses extend the set for attributes they rebuild in
+    #: :meth:`_post_restore` (e.g. TiFL's tier evaluators).
+    _CHECKPOINT_EXCLUDE = frozenset(
+        {
+            "population",
+            "dataset",
+            "num_clients",
+            "config",
+            "factory",
+            "worker",
+            "initial_flat",
+            "loss",
+            "timers",
+            "delay_model",
+            "scenario",
+            "latency_model",
+            "clients",
+            "evaluator",
+            "failures",
+            "executor",
+            "_downlink_cache",
+            "arrival_pool",
+            "_checkpointer",
+            "_resume_queue",
+            "_resumed",
+        }
+    )
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot of every mutable simulation attribute."""
+        return {
+            k: v for k, v in vars(self).items() if k not in self._CHECKPOINT_EXCLUDE
+        }
+
+    def restore_state(self, state: dict) -> None:
+        """Overlay a :meth:`state_dict` snapshot onto a freshly-built system.
+
+        ``__init__`` must already have run with the *same* config: the
+        restore only replaces the mutable attributes, trusting the
+        deterministic construction for everything excluded from capture.
+        """
+        for key, value in state.items():
+            setattr(self, key, value)
+        # The downlink encode cache keys on (version, source identity);
+        # unpickling broke the identity, so start cold — the first
+        # send_down re-encodes, byte-for-byte the same payload.
+        self._downlink_cache = None
+        self._post_restore()
+
+    def _post_restore(self) -> None:
+        """Hook: rebuild excluded attributes that depend on restored state."""
+
+    def attach_checkpointer(self, checkpointer, *, resume: bool = False) -> bool:
+        """Enable round-granular checkpointing for this run.
+
+        With ``resume=True`` and an existing checkpoint, the system state
+        (and, for event-loop methods, the in-flight event queue) is
+        restored so :meth:`run` continues mid-run instead of starting
+        over. Returns True when a checkpoint was actually resumed.
+        """
+        self._checkpointer = checkpointer
+        if not resume:
+            return False
+        payload = checkpointer.load()
+        if payload is None:
+            return False
+        if payload["method"] != self.name:
+            raise ValueError(
+                f"checkpoint {checkpointer.path} belongs to method "
+                f"{payload['method']!r}, not {self.name!r}"
+            )
+        self.restore_state(payload["state"])
+        self._resume_queue = payload["queue"]
+        self._resumed = True
+        return True
+
+    def _maybe_checkpoint(self, queue=None) -> None:
+        """Persist at round boundaries (no-op without a checkpointer)."""
+        if self._checkpointer is not None:
+            self._checkpointer.maybe_save(self, queue)
+
+    # ------------------------------------------------------------------ #
     # Evaluation / bookkeeping
     # ------------------------------------------------------------------ #
     def record_eval(self) -> EvalRecord:
@@ -631,6 +770,15 @@ class FLSystem:
             # Deterministic transfer accounting (bytes, messages, and —
             # under a finite-bandwidth link — transfer seconds).
             self.history.meta["network"] = self.meter.snapshot()
+            # Fault-tolerance telemetry, only when the run configured it:
+            # recovery counters are wall-clock-race diagnostics (like
+            # phase_seconds), the guard snapshot is deterministic.
+            if self.config.faults is not None or self.config.chunk_timeout is not None:
+                counters = getattr(self.executor, "fault_counters", None)
+                if counters is not None:
+                    self.history.meta["faults"] = dict(counters)
+            if self.guard is not None:
+                self.history.meta["guard"] = self.guard.snapshot()
 
     def _run(self) -> RunHistory:
         raise NotImplementedError
@@ -687,8 +835,10 @@ class SyncFLSystem(FLSystem):
         return True
 
     def _run(self) -> RunHistory:
-        self.record_eval()  # round-0 baseline point
+        if not self._resumed:
+            self.record_eval()  # round-0 baseline point
         while not self.budget_exhausted():
+            self._maybe_checkpoint()
             cohort = self.choose_cohort()
             if not cohort:
                 if self._wait_for_rejoin():
@@ -713,7 +863,10 @@ class SyncFLSystem(FLSystem):
                         lam=self.client_lambda(cid),
                     )
                 )
-            results = self.train_cohort(tasks, received)
+            # Quarantine before the uplink codec (rejected clients never
+            # transmit; exploded updates would overflow range-limited
+            # encoders like polyline otherwise).
+            results = self.guard_results(self.train_cohort(tasks, received), received)
             for res, weights in zip(results, self.send_up_cohort([r.weights for r in results])):
                 res.weights = weights
             self.now = round_end

@@ -72,6 +72,31 @@ class FLConfig:
     # of model replicas (bit-identical histories, see repro.exec).
     executor: str = "serial"
     num_workers: int = 0  # parallel pool size; 0 => CPU count
+    # --- fault tolerance --------------------------------------------------#
+    # Deterministic chaos injection into the parallel executor's worker
+    # pool: "crash:<p>", "hang:<p>", "corrupt:<p>", "+"-composable
+    # ("crash:0.2+corrupt:0.1"). Faults are drawn from seeded per-family
+    # substreams keyed by (dispatch, chunk, attempt), so a chaos run's
+    # fault schedule is bit-reproducible. None disables injection. Serial
+    # execution has no worker processes, so faults only apply when
+    # executor="parallel".
+    faults: str | None = None
+    # Per-chunk wall-clock deadline (seconds) before the supervisor
+    # declares a dispatched chunk hung, respawns the pool, and
+    # redispatches. None disables deadlines (crash recovery still works
+    # via dead-worker detection). Required when injecting "hang" faults.
+    chunk_timeout: float | None = None
+    # Redispatch budget per chunk (attempts = 1 + chunk_retries) before
+    # the chunk degrades or the run errors out.
+    chunk_retries: int = 3
+    # After the retry budget: True finishes the chunk through the
+    # in-process serial executor (graceful degradation); False raises
+    # ExecutorFaultError with full recovery context.
+    fault_degrade: bool = True
+    # Update quarantine applied before every aggregation:
+    # "reject[:max_norm]" | "clip[:max_norm]" | "abort[:max_norm]"
+    # (max_norm defaults to 1e6). None disables the guard.
+    guard: str | None = None
     # Model-parameter dtype. "float64" (default) keeps every code path
     # bit-identical to the reference histories; "float32" halves parameter
     # memory bandwidth on every matmul at the cost of exact reproducibility
@@ -143,6 +168,29 @@ class FLConfig:
             raise ValueError(f"unknown executor {self.executor!r}")
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 means CPU count)")
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ValueError("chunk_timeout must be positive (None disables)")
+        if self.chunk_retries < 0:
+            raise ValueError("chunk_retries must be >= 0")
+        if self.faults is not None:
+            from repro.exec.faults import parse_faults
+
+            spec = parse_faults(self.faults)  # raises ValueError on bad specs
+            if (
+                spec is not None
+                and spec.hang > 0
+                and self.executor == "parallel"
+                and self.chunk_timeout is None
+            ):
+                raise ValueError(
+                    "hang faults need a chunk_timeout: an injected hang "
+                    "sleeps past any deadline, so without one the run "
+                    "would block forever"
+                )
+        if self.guard is not None:
+            from repro.core.guard import UpdateGuard
+
+            UpdateGuard.parse(self.guard)  # raises ValueError on bad specs
         if self.server_weighting not in ("dynamic", "uniform"):
             raise ValueError(f"unknown server_weighting {self.server_weighting!r}")
         if self.fedasync_staleness not in ("constant", "poly", "hinge"):

@@ -38,8 +38,14 @@ class _TierRoundDone:
     """Event payload: tier ``tier``'s round finished at the event time."""
 
     tier: int
-    #: (LocalTrainingResult, uplink payload bytes) per responding client.
+    #: (LocalTrainingResult, uplink payload bytes) per responding client
+    #: that passed the update guard (rejected clients never transmit).
     results: list = field(default_factory=list)
+    #: How many of the tier's results the update guard quarantined. An
+    #: all-quarantined round must still consume round budget (a null
+    #: global update), else a tier of poisoned clients would relaunch
+    #: itself forever.
+    quarantined: int = 0
 
 
 @dataclass
@@ -134,8 +140,14 @@ class FedAT(FLSystem):
             self.observe_latency(cid, latency)
             tasks.append(self.make_task(cid, latency))
         trained = self.train_cohort(tasks, received)
-        results = list(zip(trained, self.uplink_roundtrip(trained)))
-        queue.schedule_at(round_end, _TierRoundDone(tier, results))
+        # Quarantine before the uplink codec: an exploded update would blow
+        # past the polyline encoder's range, so a rejected client never
+        # transmits (and is never metered) — clipped updates encode fine.
+        kept = self.guard_results(trained, received)
+        results = list(zip(kept, self.uplink_roundtrip(kept)))
+        queue.schedule_at(
+            round_end, _TierRoundDone(tier, results, len(trained) - len(kept))
+        )
         return True
 
     def _launch_or_wake(self, tier: int, queue: EventQueue) -> None:
@@ -200,16 +212,34 @@ class FedAT(FLSystem):
             if m not in self._active:
                 self._launch_or_wake(m, queue)
 
+    def _post_restore(self) -> None:
+        super()._post_restore()
+        if self.arrival_pool is not None and self._enrolled is not None:
+            # ``__init__`` rebuilt the pool with every late client held
+            # back; hand back out the shards of clients that had already
+            # arrived by the checkpoint (release is exactly-once, so only
+            # still-held ids replay).
+            for cid in self._enrolled:
+                if cid in self.arrival_pool:
+                    self.arrival_pool.release(cid)
+
     def _run(self) -> RunHistory:
-        queue = EventQueue()
-        self.record_eval()
-        if self.arrival_pool is not None:
-            for cid, t in self.scenario.late_arrivals():
-                if self.config.max_time is None or t < self.config.max_time:
-                    queue.schedule_at(t, _ClientArrival(cid))
-        for m in range(self.tiering.num_tiers):
-            self._launch_or_wake(m, queue)
+        if self._resumed:
+            # Mid-run resume: the checkpointed queue carries the in-flight
+            # tier rounds and arrival events; the prologue (round-0 eval,
+            # initial launches) happened before the checkpoint was taken.
+            queue: EventQueue = self._resume_queue
+        else:
+            queue = EventQueue()
+            self.record_eval()
+            if self.arrival_pool is not None:
+                for cid, t in self.scenario.late_arrivals():
+                    if self.config.max_time is None or t < self.config.max_time:
+                        queue.schedule_at(t, _ClientArrival(cid))
+            for m in range(self.tiering.num_tiers):
+                self._launch_or_wake(m, queue)
         while not queue.empty and not self.budget_exhausted():
+            self._maybe_checkpoint(queue)
             ev = queue.pop()
             self.now = ev.time
             if isinstance(ev.payload, _ClientArrival):
@@ -234,6 +264,13 @@ class FedAT(FLSystem):
                 self.round += 1
                 if self.retier_due():
                     self._retier(queue)
+                if self._eval_due():
+                    self.record_eval()
+            elif done.quarantined:
+                # Every responder was quarantined: a null global update.
+                # Consuming budget here keeps a fully-poisoned tier from
+                # spinning the event loop forever.
+                self.round += 1
                 if self._eval_due():
                     self.record_eval()
             # The tier immediately begins its next round from the latest

@@ -19,6 +19,12 @@ proximal λ, pre-sampled latency — so local training is a pure function of
 """
 
 from repro.exec.base import ClientExecutor, CohortTask, OptimizerSpec, make_executor
+from repro.exec.faults import (
+    ExecutorFaultError,
+    FaultPlan,
+    FaultSpec,
+    parse_faults,
+)
 from repro.exec.parallel import ParallelExecutor
 from repro.exec.payloads import decode_batch, encode_batch, roundtrip_batch
 from repro.exec.serial import SerialExecutor
@@ -33,4 +39,8 @@ __all__ = [
     "encode_batch",
     "decode_batch",
     "roundtrip_batch",
+    "FaultSpec",
+    "FaultPlan",
+    "parse_faults",
+    "ExecutorFaultError",
 ]

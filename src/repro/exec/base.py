@@ -95,11 +95,19 @@ def make_executor(
     loss,
     optimizer: OptimizerSpec,
     num_workers: int = 0,
+    faults=None,
+    chunk_timeout: float | None = None,
+    chunk_retries: int = 3,
+    degrade: bool = True,
 ) -> ClientExecutor:
     """Build an executor backend from its config name.
 
     ``"serial"`` trains through the shared worker model; ``"parallel"``
     fans cohorts out to a process pool (``num_workers=0`` → CPU count).
+    The fault-tolerance knobs (``faults`` — a :class:`~repro.exec.faults.
+    FaultPlan`, ``chunk_timeout``, ``chunk_retries``, ``degrade``) only
+    apply to the parallel backend; serial execution has no worker
+    processes to lose.
     """
     from repro.exec.parallel import ParallelExecutor
     from repro.exec.serial import SerialExecutor
@@ -108,6 +116,14 @@ def make_executor(
         return SerialExecutor(model, clients, loss, optimizer)
     if spec == "parallel":
         return ParallelExecutor(
-            model, clients, loss, optimizer, num_workers=num_workers
+            model,
+            clients,
+            loss,
+            optimizer,
+            num_workers=num_workers,
+            faults=faults,
+            chunk_timeout=chunk_timeout,
+            chunk_retries=chunk_retries,
+            degrade=degrade,
         )
     raise ValueError(f"unknown executor {spec!r}; options: serial, parallel")

@@ -27,15 +27,23 @@ executor degrades to the serial path and records why.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 import sys
+import time
 import warnings
 from typing import Sequence
 
 import numpy as np
 
 from repro.exec.base import ClientExecutor, CohortTask, OptimizerSpec
+from repro.exec.faults import (
+    ExecutorFaultError,
+    FaultPlan,
+    chunk_checksum,
+    corrupt_results,
+)
 from repro.exec.serial import SerialExecutor
 from repro.nn.losses import Loss
 from repro.nn.model import Sequential
@@ -46,8 +54,45 @@ __all__ = ["ParallelExecutor"]
 #: Per-process worker state, populated by the pool initializer.
 _WORKER: dict = {}
 
+#: Broadcast segments owned by this (parent) process. ``close()`` unlinks
+#: its executor's segment, but an abnormal exit — unhandled exception, a
+#: driver that never calls close — used to leave the segment dangling in
+#: /dev/shm until reboot. The atexit guard sweeps whatever is still
+#: registered; `_release_shm` unregisters on the normal path so the sweep
+#: is a no-op there.
+_SHM_REGISTRY: dict[str, object] = {}
+_SHM_GUARD_INSTALLED = False
 
-def _init_worker(model: Sequential, clients: dict, loss: Loss, optimizer: OptimizerSpec):
+
+def _sweep_shm_registry() -> None:
+    for shm in list(_SHM_REGISTRY.values()):
+        try:
+            shm.close()
+            shm.unlink()
+        except Exception:  # pragma: no cover - best-effort at interpreter exit
+            pass
+    _SHM_REGISTRY.clear()
+
+
+def _register_shm(shm) -> None:
+    global _SHM_GUARD_INSTALLED
+    if not _SHM_GUARD_INSTALLED:
+        atexit.register(_sweep_shm_registry)
+        _SHM_GUARD_INSTALLED = True
+    _SHM_REGISTRY[shm.name] = shm
+
+
+def _unregister_shm(shm) -> None:
+    _SHM_REGISTRY.pop(shm.name, None)
+
+
+def _init_worker(
+    model: Sequential,
+    clients: dict,
+    loss: Loss,
+    optimizer: OptimizerSpec,
+    faults: FaultPlan | None = None,
+):
     # One SerialExecutor per worker process: chunk execution reuses the
     # exact task->local_train mapping of the serial backend, so the two
     # paths cannot drift apart. Constructing it also compiles the worker
@@ -55,6 +100,7 @@ def _init_worker(model: Sequential, clients: dict, loss: Loss, optimizer: Optimi
     # process, before the first cohort arrives.
     _WORKER["executor"] = SerialExecutor(model, clients, loss, optimizer)
     _WORKER["shm"] = {}
+    _WORKER["faults"] = faults
 
 
 def _attach_shared(name: str, dtype: str, size: int) -> np.ndarray:
@@ -63,34 +109,71 @@ def _attach_shared(name: str, dtype: str, size: int) -> np.ndarray:
     The parent owns the segment's lifetime; the worker must neither unlink
     it nor let its resource tracker claim it (attaching registers with the
     tracker on CPython <= 3.12, which would spew spurious leak warnings at
-    worker exit), hence the unregister immediately after attach.
+    worker exit). Registration is suppressed *during* attach rather than
+    undone after: with fork all workers share the parent's tracker, and
+    register/unregister pairs from concurrent worker generations interleave
+    into spurious KeyError noise in the tracker process otherwise.
     """
     cache = _WORKER.setdefault("shm", {})
     shm = cache.get(name)
     if shm is None:
-        from multiprocessing import shared_memory
+        from multiprocessing import resource_tracker, shared_memory
 
-        shm = shared_memory.SharedMemory(name=name)
+        orig_register = resource_tracker.register
+
+        def _no_register(rname, rtype):  # pragma: no cover - CPython detail
+            if rtype != "shared_memory":
+                orig_register(rname, rtype)
+
+        resource_tracker.register = _no_register
         try:
-            from multiprocessing import resource_tracker
-
-            resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:  # pragma: no cover - tracker API is CPython detail
-            pass
+            shm = shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
         cache[name] = shm
     arr = np.ndarray((size,), dtype=np.dtype(dtype), buffer=shm.buf)
     arr.flags.writeable = False
     return arr
 
 
-def _train_chunk(payload: tuple) -> list[LocalTrainingResult]:
-    header, tasks = payload
+def _train_chunk(payload: tuple):
+    """Execute one chunk; supervised payloads carry a fault key + checksum.
+
+    Legacy 2-tuples ``(header, tasks)`` return a bare result list (the fast
+    ``pool.map`` path). Supervised 3-tuples add ``(dispatch, chunk,
+    attempt)`` and return ``(results, checksum)`` so the parent can verify
+    integrity; injected faults fire here, in the worker, exactly where the
+    real failure would happen.
+    """
+    if len(payload) == 2:
+        header, tasks = payload
+        key = None
+    else:
+        header, tasks, key = payload
+    plan: FaultPlan | None = _WORKER.get("faults")
+    injected: tuple[str, ...] = ()
+    if key is not None and plan is not None:
+        injected = plan.chunk_faults(*key)
+        if "crash" in injected:
+            # Die the way an OOM-killed / segfaulted worker dies: no
+            # exception back to the parent, no cleanup, just a corpse.
+            os._exit(3)
     if header[0] == "shm":
         _, name, dtype, size = header
         start_weights = _attach_shared(name, dtype, size)
     else:
         start_weights = header[1]
-    return _WORKER["executor"].run_cohort(start_weights, tasks)
+    results = _WORKER["executor"].run_cohort(start_weights, tasks)
+    if key is None:
+        return results
+    checksum = chunk_checksum(results) if plan is not None else None
+    if "corrupt" in injected:
+        # Damage the payload *after* the checksum, modelling in-transit
+        # corruption: the parent's verify catches it and redispatches.
+        corrupt_results(results)
+    if "hang" in injected:
+        time.sleep(plan.hang_seconds)
+    return results, checksum
 
 
 def _resolve_workers(num_workers: int) -> int:
@@ -123,7 +206,15 @@ class ParallelExecutor(ClientExecutor):
         num_workers: int = 0,
         start_method: str | None = None,
         shared_broadcast: bool = True,
+        faults: FaultPlan | None = None,
+        chunk_timeout: float | None = None,
+        chunk_retries: int = 3,
+        degrade: bool = True,
     ):
+        if chunk_timeout is not None and chunk_timeout <= 0:
+            raise ValueError(f"chunk_timeout must be positive, got {chunk_timeout}")
+        if chunk_retries < 0:
+            raise ValueError(f"chunk_retries must be >= 0, got {chunk_retries}")
         self.num_workers = _resolve_workers(num_workers)
         self._pool = None
         self._fallback: SerialExecutor | None = None
@@ -131,6 +222,23 @@ class ParallelExecutor(ClientExecutor):
         self.shared_broadcast = shared_broadcast
         self.shm_fallback_reason: str | None = None
         self._shm = None
+        self.faults = faults
+        self.chunk_timeout = chunk_timeout
+        self.chunk_retries = chunk_retries
+        self.degrade = degrade
+        self._dispatch_seq = 0
+        self._proc_snapshot: list = []
+        #: Recovery telemetry, cumulative across the run; the system layer
+        #: publishes a snapshot into ``history.meta["faults"]``.
+        self.fault_counters: dict[str, int] = {
+            "retries": 0,
+            "timeouts": 0,
+            "respawns": 0,
+            "worker_deaths": 0,
+            "corrupt_detected": 0,
+            "worker_errors": 0,
+            "degraded_chunks": 0,
+        }
         # Cohorts below this size skip the pool and run in-process (the
         # async baselines' steady-state singletons pay a full IPC round-trip
         # for zero parallelism otherwise). Bit-identical either way by the
@@ -162,7 +270,7 @@ class ParallelExecutor(ClientExecutor):
             replicas = clients.replicas()
         else:
             replicas = {c.client_id: c.replica() for c in clients}
-        self._init_args = (model.clone(), replicas, loss, optimizer)
+        self._init_args = (model.clone(), replicas, loss, optimizer, faults)
         # In-process executor over the same replica set, for sub-min_dispatch
         # cohorts. (SerialExecutor indexes clients by id; the dict satisfies
         # that.)
@@ -178,6 +286,12 @@ class ParallelExecutor(ClientExecutor):
                 initializer=_init_worker,
                 initargs=self._init_args,
             )
+            # Snapshot the worker Process objects at creation: mp.Pool's
+            # maintenance thread reaps a crashed worker and drops it from
+            # ``pool._pool`` almost immediately, so polling the live list
+            # misses the death. Our own references keep the exitcode
+            # observable until the supervisor handles it.
+            self._proc_snapshot = list(getattr(self._pool, "_pool", []) or [])
         return self._pool
 
     def _broadcast_header(self, start_weights: np.ndarray) -> tuple:
@@ -195,6 +309,7 @@ class ParallelExecutor(ClientExecutor):
                 self._shm = shared_memory.SharedMemory(
                     create=True, size=start_weights.nbytes
                 )
+                _register_shm(self._shm)
             except Exception as exc:  # no /dev/shm, permissions, quota ...
                 self.shm_fallback_reason = (
                     f"shared-memory broadcast unavailable ({exc!r}); "
@@ -213,6 +328,7 @@ class ParallelExecutor(ClientExecutor):
 
     def _release_shm(self) -> None:
         if self._shm is not None:
+            _unregister_shm(self._shm)
             try:
                 self._shm.close()
                 self._shm.unlink()
@@ -235,13 +351,169 @@ class ParallelExecutor(ClientExecutor):
         if not tasks:
             return []
         if len(tasks) < self.min_dispatch:
+            # In-parent fast path: below min_dispatch the IPC round-trip buys
+            # no parallelism. Runs outside the fault domain — injections model
+            # worker-process infrastructure, and there is no worker here.
             return self._local.run_cohort(start_weights, tasks)
-        pool = self._ensure_pool()
         start_weights = np.ascontiguousarray(start_weights)
         header = self._broadcast_header(start_weights)
         chunks = self._chunk(tasks, self.num_workers)
-        results = pool.map(_train_chunk, [(header, c) for c in chunks])
+        if self.faults is None and self.chunk_timeout is None:
+            # Legacy synchronous dispatch: nothing to supervise, and
+            # ``pool.map`` has the least per-round overhead.
+            pool = self._ensure_pool()
+            results = pool.map(_train_chunk, [(header, c) for c in chunks])
+        else:
+            results = self._run_chunks_supervised(header, chunks, start_weights)
         return [res for chunk in results for res in chunk]
+
+    # ------------------------------------------------------------------ #
+    # Supervised dispatch: timeouts, dead-pool recovery, capped retries
+    # ------------------------------------------------------------------ #
+    def _respawn_pool(self) -> None:
+        """Tear the pool down hard and let the next submit rebuild it.
+
+        The broadcast segment is parent-owned and survives; fresh workers
+        re-attach on their first chunk.
+        """
+        self.fault_counters["respawns"] += 1
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._proc_snapshot = []
+
+    def _pool_has_dead_worker(self) -> bool:
+        return any(p.exitcode is not None for p in self._proc_snapshot)
+
+    def _run_chunks_supervised(
+        self,
+        header: tuple,
+        chunks: list[list[CohortTask]],
+        start_weights: np.ndarray,
+    ) -> list[list[LocalTrainingResult]]:
+        """Dispatch chunks with per-chunk deadlines and capped redispatch.
+
+        Recovery model: a crashed worker (detected via the pool's process
+        table), a timed-out chunk, or a checksum mismatch marks the chunk
+        failed; crashes and timeouts also force a full pool respawn, since
+        ``mp.Pool`` silently drops the in-flight task of a dead worker and a
+        hung worker never frees its slot. Every redispatch burns one unit of
+        the chunk's retry budget (``1 + chunk_retries`` attempts total);
+        exhaustion degrades the chunk to the in-parent serial executor when
+        ``degrade`` is set, else raises :class:`ExecutorFaultError`. Chunk
+        work is deterministic, so however many retries it takes, the
+        results — and the downstream history — are bit-identical to a
+        fault-free run.
+        """
+        counters = self.fault_counters
+        dispatch = self._dispatch_seq
+        self._dispatch_seq += 1
+        n = len(chunks)
+        results: list = [None] * n
+        attempts = [0] * n
+        budget = 1 + self.chunk_retries
+        pending: dict[int, tuple] = {}  # idx -> (AsyncResult, deadline | None)
+
+        def submit(idx: int) -> None:
+            pool = self._ensure_pool()
+            payload = (header, chunks[idx], (dispatch, idx, attempts[idx]))
+            attempts[idx] += 1
+            deadline = (
+                time.monotonic() + self.chunk_timeout
+                if self.chunk_timeout is not None
+                else None
+            )
+            pending[idx] = (pool.apply_async(_train_chunk, (payload,)), deadline)
+
+        def retry_or_fail(idx: int, reason: str) -> None:
+            if attempts[idx] < budget:
+                counters["retries"] += 1
+                submit(idx)
+                return
+            if self.degrade:
+                counters["degraded_chunks"] += 1
+                warnings.warn(
+                    f"executor {self.name!r}: chunk {idx} exhausted its retry "
+                    f"budget ({reason}); degrading to in-process serial "
+                    "execution for this chunk",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                results[idx] = self._local.run_cohort(start_weights, chunks[idx])
+                return
+            raise ExecutorFaultError(
+                executor=self.name,
+                chunk=idx,
+                chunk_size=len(chunks[idx]),
+                num_workers=self.num_workers,
+                attempts=attempts[idx],
+                retry_budget=self.chunk_retries,
+                counters=counters,
+                reason=reason,
+            )
+
+        for idx in range(n):
+            submit(idx)
+        while pending:
+            progressed = False
+            for idx in sorted(pending):
+                async_res, _ = pending[idx]
+                if not async_res.ready():
+                    continue
+                progressed = True
+                del pending[idx]
+                try:
+                    value = async_res.get()
+                except Exception as exc:
+                    counters["worker_errors"] += 1
+                    retry_or_fail(idx, f"worker raised {type(exc).__name__}: {exc}")
+                    continue
+                chunk_results, checksum = value
+                if checksum is not None and chunk_checksum(chunk_results) != checksum:
+                    counters["corrupt_detected"] += 1
+                    retry_or_fail(idx, "result checksum mismatch")
+                    continue
+                results[idx] = chunk_results
+            if not pending:
+                break
+            if self._pool_has_dead_worker():
+                # A worker died with work in flight; mp.Pool would quietly
+                # repopulate and leave the lost chunk pending forever.
+                # Recover the whole pool and redispatch everything unfinished
+                # (chunk determinism makes the duplicate work harmless).
+                counters["worker_deaths"] += 1
+                lost = sorted(pending)
+                pending.clear()
+                self._respawn_pool()
+                for idx in lost:
+                    retry_or_fail(idx, "worker process died mid-chunk")
+                continue
+            now = time.monotonic()
+            timed_out = sorted(
+                idx
+                for idx, (_, deadline) in pending.items()
+                if deadline is not None and now > deadline
+            )
+            if timed_out:
+                # A hung worker never frees its slot; the only reliable
+                # recovery is a pool respawn, which also aborts whatever else
+                # was in flight — redispatch all of it.
+                counters["timeouts"] += len(timed_out)
+                lost = sorted(pending)
+                pending.clear()
+                self._respawn_pool()
+                for idx in lost:
+                    reason = (
+                        f"chunk exceeded chunk_timeout={self.chunk_timeout}s"
+                        if idx in timed_out
+                        else "pool respawned while chunk was in flight"
+                    )
+                    retry_or_fail(idx, reason)
+                continue
+            if not progressed:
+                time.sleep(0.02)
+        return results
 
     def close(self) -> None:
         if self._pool is not None:

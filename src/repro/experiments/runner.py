@@ -141,6 +141,9 @@ def run_experiment(
     population: int | None = None,
     delay_counts: list[int] | None = None,
     dataset_overrides: dict | None = None,
+    checkpoint_dir: str | None = None,
+    resume: bool = False,
+    checkpoint_every: int = 1,
     **fl_overrides,
 ) -> RunHistory:
     """Run one (method, dataset) experiment and return its history.
@@ -148,6 +151,12 @@ def run_experiment(
     ``population`` switches the run onto a :class:`VirtualPopulation` of
     that many lazily derived clients (memory bounded by the active cohort);
     ``None`` keeps the eager pre-partitioned federation.
+
+    ``checkpoint_dir`` enables round-granular in-run checkpointing (every
+    ``checkpoint_every`` global updates, keyed by the full run parameters);
+    with ``resume=True`` a killed run picks up from its last checkpoint and
+    finishes with a history bit-identical to the uninterrupted run. The
+    checkpoint is removed once the run completes.
     """
     if method not in ALGORITHMS:
         raise KeyError(f"unknown method {method!r}; options: {sorted(ALGORITHMS)}")
@@ -181,7 +190,31 @@ def run_experiment(
             delay_counts, env_rng, PAPER_DELAY_BANDS
         )
     system = ALGORITHMS[method](dataset, builder, config, delay_model=delay_model)
+    checkpointer = None
+    if checkpoint_dir is not None:
+        from repro.experiments.checkpoint import RunCheckpointer
+
+        # Key the checkpoint by every parameter that shapes the run, so a
+        # resume can never continue a different experiment's state.
+        key = _cache_key(
+            {
+                "method": method,
+                "dataset": dataset_name,
+                "scale": scale,
+                "seed": seed,
+                "classes_per_client": classes_per_client,
+                "num_clients": num_clients,
+                "population": population,
+                "delay_counts": delay_counts,
+                "dataset_overrides": dataset_overrides,
+                **fl_overrides,
+            }
+        )
+        checkpointer = RunCheckpointer(checkpoint_dir, key, every=checkpoint_every)
+        system.attach_checkpointer(checkpointer, resume=resume)
     history = system.run()
+    if checkpointer is not None:
+        checkpointer.clear()  # the run completed; keep the directory clean
     history.meta.update(
         {
             "scale": scale,

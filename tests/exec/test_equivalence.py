@@ -7,9 +7,16 @@ same accuracies, same losses, same byte meters, same virtual times. Tasks
 carry explicit batch-schedule cursors and pre-sampled latencies, so local
 training is a pure function of its inputs and executors are free to
 schedule it anywhere.
+
+Chaos mode: setting ``REPRO_FAULTS`` (e.g. ``crash:0.2+corrupt:0.1``) runs
+every parallel side of this suite under deterministic fault injection —
+workers crash, hang, or corrupt results in flight, the supervisor retries
+and redispatches, and the histories must **still** be bit-identical to the
+fault-free serial runs. CI's chaos smoke job sets exactly this.
 """
 
 import dataclasses
+import os
 
 import numpy as np
 import pytest
@@ -23,8 +30,17 @@ from repro.experiments.config import build_model_builder
 
 _BUDGETS = {FedAT: 12, FedAvg: 4, FedAsync: 25, ASOFed: 25}
 
+#: Fault spec injected into every parallel run of this suite (chaos mode).
+_FAULTS = os.environ.get("REPRO_FAULTS") or None
+
 
 def _config(cls, seed, executor):
+    chaos = {}
+    if executor == "parallel" and _FAULTS:
+        # chunk_timeout bounds hang recovery and is harmless otherwise: a
+        # spurious timeout redispatches a deterministic chunk, which cannot
+        # change the history — only the wall clock.
+        chaos = {"faults": _FAULTS, "chunk_timeout": 5.0}
     return FLConfig(
         clients_per_round=4,
         local_epochs=2,
@@ -36,6 +52,7 @@ def _config(cls, seed, executor):
         compression="polyline:4" if cls is FedAT else None,
         executor=executor,
         num_workers=2 if executor == "parallel" else 0,
+        **chaos,
     )
 
 

@@ -1,0 +1,217 @@
+"""In-run checkpoint/resume: a killed run continues bit-identically.
+
+The sweep layer already resumes at *cell* granularity; these tests pin the
+new *round* granularity — :class:`RunCheckpointer` persists the full
+mutable simulation state (RNG stream positions, meters, history, server
+state, the in-flight event queue) at round boundaries, and a system
+rebuilt from the same config + checkpoint finishes with a history
+byte-identical to the uninterrupted run.
+"""
+
+import pickle
+
+import pytest
+
+from repro.baselines.asofed import ASOFed
+from repro.baselines.fedasync import FedAsync
+from repro.baselines.fedavg import FedAvg
+from repro.baselines.tifl import TiFL
+from repro.core.config import FLConfig
+from repro.core.fedat import FedAT
+from repro.experiments.checkpoint import (
+    RunCheckpointer,
+    strip_volatile_meta,
+    VOLATILE_META_KEYS,
+)
+from repro.experiments.config import build_model_builder
+from repro.experiments.runner import run_experiment
+
+
+class KillAfter(RunCheckpointer):
+    """Checkpointer that simulates a mid-run kill after N saves."""
+
+    def __init__(self, *args, kill_after: int, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.kill_after = kill_after
+
+    def maybe_save(self, system, queue=None):
+        saved = super().maybe_save(system, queue)
+        if self.saves >= self.kill_after:
+            raise KeyboardInterrupt("simulated mid-run kill")
+        return saved
+
+
+_BUDGETS = {FedAT: 10, FedAvg: 4, FedAsync: 20, ASOFed: 20, TiFL: 6}
+
+
+def _config(cls, **kw):
+    base = dict(
+        clients_per_round=4,
+        local_epochs=1,
+        batch_size=8,
+        max_rounds=_BUDGETS[cls],
+        eval_every=2,
+        num_tiers=3,
+        num_unstable=2,
+        seed=3,
+        compression="polyline:4" if cls is FedAT else None,
+    )
+    base.update(kw)
+    return FLConfig(**base)
+
+
+def _system(dataset, cls, **kw):
+    return cls(dataset, build_model_builder(dataset, "tiny"), _config(cls, **kw))
+
+
+# --------------------------------------------------------------------- #
+# RunCheckpointer mechanics
+# --------------------------------------------------------------------- #
+def test_checkpointer_round_throttling(tmp_path, tiny_bow_dataset):
+    system = _system(tiny_bow_dataset, FedAvg)
+    ckpt = RunCheckpointer(tmp_path, "t", every=2)
+    assert not ckpt.exists()
+    assert ckpt.maybe_save(system)  # first save always lands (round 0)
+    assert not ckpt.maybe_save(system)  # same round: skipped
+    system.round = 1
+    assert not ckpt.maybe_save(system)  # 1 % 2 != 0: skipped
+    system.round = 2
+    assert ckpt.maybe_save(system)
+    assert ckpt.saves == 2
+    assert not list(tmp_path.glob("*.tmp")), "atomic writes leave no temp files"
+    system.executor.close()
+
+
+def test_checkpointer_load_round_trip(tmp_path, tiny_bow_dataset):
+    system = _system(tiny_bow_dataset, FedAvg)
+    system.round = 5
+    RunCheckpointer(tmp_path, "t").save(system, queue=None)
+    payload = RunCheckpointer(tmp_path, "t").load()
+    assert payload["method"] == "fedavg"
+    assert payload["round"] == 5
+    assert "history" in payload["state"] and "_select_rng" in payload["state"]
+    system.executor.close()
+
+
+def test_checkpointer_rejects_unknown_format(tmp_path):
+    ckpt = RunCheckpointer(tmp_path, "t")
+    ckpt.directory.mkdir(exist_ok=True)
+    ckpt.path.write_bytes(pickle.dumps({"format": 99}))
+    with pytest.raises(ValueError, match="format"):
+        ckpt.load()
+    ckpt.clear()
+    assert not ckpt.exists()
+    ckpt.clear()  # idempotent
+
+
+def test_checkpointer_validates_every():
+    with pytest.raises(ValueError):
+        RunCheckpointer(".", "t", every=0)
+
+
+def test_resume_rejects_method_mismatch(tmp_path, tiny_bow_dataset):
+    donor = _system(tiny_bow_dataset, FedAvg)
+    RunCheckpointer(tmp_path, "t").save(donor, queue=None)
+    donor.executor.close()
+    other = _system(tiny_bow_dataset, FedAT)
+    with pytest.raises(ValueError, match="belongs to method"):
+        other.attach_checkpointer(RunCheckpointer(tmp_path, "t"), resume=True)
+    other.executor.close()
+
+
+def test_strip_volatile_meta_keeps_everything_else():
+    hist = {"records": [1], "meta": {"seed": 0, "phase_seconds": {"a": 1}, "faults": {}}}
+    out = strip_volatile_meta(hist)
+    assert out["meta"] == {"seed": 0}
+    assert all(k in ("phase_seconds", "faults") for k in VOLATILE_META_KEYS)
+
+
+# --------------------------------------------------------------------- #
+# Kill-and-resume bit-identity, every method
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize(
+    "cls, scenario",
+    [
+        (FedAT, None),
+        (FedAT, "churn"),
+        (FedAT, "arrival"),  # exercises the arrival-pool replay on restore
+        (FedAvg, None),
+        (TiFL, None),  # exercises the tier-evaluator rebuild on restore
+        (FedAsync, None),
+        (ASOFed, None),
+    ],
+    ids=["fedat", "fedat-churn", "fedat-arrival", "fedavg", "tifl", "fedasync", "asofed"],
+)
+def test_killed_run_resumes_bit_identically(tmp_path, tiny_bow_dataset, cls, scenario):
+    kw = {"scenario": scenario, "guard": "reject"}
+    reference = _system(tiny_bow_dataset, cls, **kw).run()
+
+    killed = _system(tiny_bow_dataset, cls, **kw)
+    killed.attach_checkpointer(KillAfter(tmp_path, "kr", kill_after=3))
+    with pytest.raises(KeyboardInterrupt):
+        killed.run()
+
+    ckpt = RunCheckpointer(tmp_path, "kr")
+    assert ckpt.exists()
+    resumed_system = _system(tiny_bow_dataset, cls, **kw)
+    assert resumed_system.attach_checkpointer(ckpt, resume=True)
+    assert resumed_system.round > 0, "resume must start mid-run, not from scratch"
+    resumed = resumed_system.run()
+
+    assert strip_volatile_meta(resumed.to_dict()) == strip_volatile_meta(
+        reference.to_dict()
+    )
+    ckpt.clear()
+
+
+def test_resume_without_checkpoint_is_fresh_start(tmp_path, tiny_bow_dataset):
+    system = _system(tiny_bow_dataset, FedAvg)
+    resumed = system.attach_checkpointer(
+        RunCheckpointer(tmp_path, "missing"), resume=True
+    )
+    assert not resumed
+    reference = _system(tiny_bow_dataset, FedAvg).run()
+    history = system.run()
+    assert strip_volatile_meta(history.to_dict()) == strip_volatile_meta(
+        reference.to_dict()
+    )
+
+
+# --------------------------------------------------------------------- #
+# run_experiment wiring
+# --------------------------------------------------------------------- #
+def test_run_experiment_checkpoints_and_cleans_up(tmp_path, monkeypatch):
+    kwargs = dict(
+        scale="tiny",
+        seed=1,
+        num_clients=8,
+        max_rounds=4,
+        dataset_overrides={"samples_per_client": 16},
+    )
+    reference = run_experiment("fedavg", "sentiment140", **kwargs)
+
+    saves = []
+    orig = RunCheckpointer.maybe_save
+
+    def killing_save(self, system, queue=None):
+        out = orig(self, system, queue)
+        saves.append(self.saves)
+        if self.saves >= 2:
+            raise KeyboardInterrupt("simulated kill")
+        return out
+
+    monkeypatch.setattr(RunCheckpointer, "maybe_save", killing_save)
+    with pytest.raises(KeyboardInterrupt):
+        run_experiment(
+            "fedavg", "sentiment140", checkpoint_dir=tmp_path, **kwargs
+        )
+    assert list(tmp_path.glob("run_*.ckpt")), "kill must leave a checkpoint"
+
+    monkeypatch.setattr(RunCheckpointer, "maybe_save", orig)
+    resumed = run_experiment(
+        "fedavg", "sentiment140", checkpoint_dir=tmp_path, resume=True, **kwargs
+    )
+    assert strip_volatile_meta(resumed.to_dict()) == strip_volatile_meta(
+        reference.to_dict()
+    )
+    assert not list(tmp_path.glob("run_*.ckpt")), "completed run clears its checkpoint"
