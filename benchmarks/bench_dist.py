@@ -1,21 +1,16 @@
-"""Fault-tolerance overhead: supervised dispatch vs the legacy fast path.
+"""Distributed dispatch overhead: scheduler + sockets vs the process pool.
 
-Three parallel-executor cells over the same cohort, all asserted
-bit-identical to the serial baseline:
+Four cells over the same cohort, all asserted bit-identical to the serial
+baseline:
 
-- ``legacy``     — no faults, no timeout: the synchronous ``pool.map`` path.
-- ``supervised`` — fault layer engaged with null probabilities: pure
-  supervision overhead (apply_async + polling + per-chunk checksums).
-- ``chaos``      — ``crash:0.2+corrupt:0.2``: real recovery work (pool
-  respawns, redispatch) on top.
+- ``serial``      — in-process reference.
+- ``pool``        — ``ParallelExecutor`` over shared-memory workers.
+- ``dist``        — ``DistExecutor``: lease scheduling, pickled frames,
+  heartbeats — the price of surviving worker loss and network faults.
+- ``dist-chaos``  — live network faults (``drop:0.2+delay:0.2``): dropped
+  connections reconnect, delayed results ride out their leases.
 
-plus one distributed cell:
-
-- ``dist-chaos`` — the same crash/corrupt schedule through
-  :class:`DistExecutor`'s scheduler/worker sockets, with lease redispatch
-  and reconnecting workers doing the recovering.
-
-Run with ``python -m pytest benchmarks/bench_faults.py -q -s``;
+Run with ``python -m pytest benchmarks/bench_dist.py -q -s``;
 ``REPRO_SMOKE=1`` shrinks the federation for CI.
 """
 
@@ -42,8 +37,8 @@ from repro.sim.client import SimClient
 SMOKE = os.environ.get("REPRO_SMOKE", "0") == "1"
 NUM_CLIENTS = 24 if SMOKE else 200
 SAMPLES_PER_CLIENT = 16 if SMOKE else 32
-WORKERS = 2 if SMOKE else 4
-COHORTS = 2 if SMOKE else 5  # dispatches per cell; chaos draws vary per dispatch
+WORKERS = 2
+COHORTS = 2 if SMOKE else 5
 
 
 def _setup():
@@ -72,29 +67,29 @@ def _fingerprint(results):
     return [(r.client_id, r.train_loss, r.weights.tobytes()) for r in results]
 
 
-def test_fault_layer_overhead(artifact):
+def test_dist_dispatch_overhead(artifact):
     model, clients, tasks = _setup()
     loss, opt = SoftmaxCrossEntropy(), OptimizerSpec("adam", 0.005)
     start = model.get_flat_weights()
 
     serial = SerialExecutor(model.clone(), clients, loss, opt)
-    reference = _fingerprint(serial.run_cohort(start, tasks))
+    t0 = time.perf_counter()
+    for _ in range(COHORTS):
+        results = serial.run_cohort(start, tasks)
+    serial_dt = (time.perf_counter() - t0) / COHORTS
+    reference = _fingerprint(results)
+    rows = [("serial", serial_dt, {})]
 
+    chaos = FaultPlan(parse_faults("drop:0.2+delay:0.2"), seed=0, delay_seconds=0.05)
     cells = [
-        ("legacy", ParallelExecutor, None, None),
-        ("supervised", ParallelExecutor, FaultPlan(parse_faults("crash:0"), seed=0), None),
-        ("chaos", ParallelExecutor,
-         FaultPlan(parse_faults("crash:0.2+corrupt:0.2"), seed=0), 60.0),
+        ("pool", ParallelExecutor, {}),
+        ("dist", DistExecutor, {}),
         ("dist-chaos", DistExecutor,
-         FaultPlan(parse_faults("crash:0.2+corrupt:0.2"), seed=0), 60.0),
+         {"faults": chaos, "chunk_timeout": 60.0, "chunk_retries": 8}),
     ]
-    rows = []
-    for name, cls, plan, timeout in cells:
-        with cls(
-            model, clients, loss, opt,
-            num_workers=WORKERS, faults=plan, chunk_timeout=timeout,
-        ) as executor:
-            # Warm the pool outside timing (>= min_dispatch so it engages).
+    for name, cls, extra in cells:
+        with cls(model, clients, loss, opt, num_workers=WORKERS, **extra) as executor:
+            # Warm the workers outside timing (>= min_dispatch so dispatch engages).
             executor.run_cohort(start, tasks[: max(WORKERS, executor.min_dispatch)])
             t0 = time.perf_counter()
             for _ in range(COHORTS):
@@ -102,27 +97,30 @@ def test_fault_layer_overhead(artifact):
             dt = (time.perf_counter() - t0) / COHORTS
             counters = dict(executor.fault_counters)
         assert _fingerprint(results) == reference, f"{name} diverges from serial"
-        rows.append((name, dt, len(tasks) / dt, counters))
+        rows.append((name, dt, counters))
 
     base = rows[0][1]
-    print(f"\nfault-layer overhead — {NUM_CLIENTS} clients, {WORKERS} workers, "
+    print(f"\ndistributed dispatch — {NUM_CLIENTS} clients, {WORKERS} workers, "
           f"{COHORTS} cohorts/cell{' [smoke]' if SMOKE else ''}")
-    print(f"{'cell':<12}{'wall (s)':>10}{'clients/s':>12}{'vs legacy':>11}  recovery")
-    for name, dt, rate, counters in rows:
+    print(f"{'cell':<12}{'wall (s)':>10}{'clients/s':>12}{'vs serial':>11}  recovery")
+    for name, dt, counters in rows:
         active = {k: v for k, v in counters.items() if v}
-        print(f"{name:<12}{dt:>10.3f}{rate:>12.1f}{dt / base:>10.2f}x  {active or '-'}")
+        print(f"{name:<12}{dt:>10.3f}{len(tasks) / dt:>12.1f}"
+              f"{dt / base:>10.2f}x  {active or '-'}")
 
-    for chaos_counters in (rows[2][3], rows[3][3]):
-        assert chaos_counters["retries"] > 0, "chaos cell never exercised recovery"
+    chaos_counters = rows[-1][2]
+    assert chaos_counters["reconnects"] > 0, "chaos cell never dropped a connection"
+    assert chaos_counters["degraded_chunks"] == 0, "chaos cell failed to recover"
     artifact(
-        "fault_overhead",
+        "dist_dispatch",
         {
             "num_clients": NUM_CLIENTS,
             "workers": WORKERS,
             "smoke": SMOKE,
             "rows": [
-                {"cell": n, "wall_s": dt, "clients_per_s": r, "counters": c}
-                for n, dt, r, c in rows
+                {"cell": n, "wall_s": dt, "clients_per_s": len(tasks) / dt,
+                 "counters": c}
+                for n, dt, c in rows
             ],
         },
     )

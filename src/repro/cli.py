@@ -10,6 +10,7 @@
     python -m repro sweep --config examples/sweep_paper.json
     python -m repro figures --from-checkpoint sweeps/<key> --out-dir figures
     python -m repro codecs --size 20000
+    python -m repro worker --connect 127.0.0.1:7070
     python -m repro list
 
 ``run`` executes one experiment and prints the history summary (optionally
@@ -19,7 +20,9 @@ resumable (method × scenario × seed) grid with per-cell JSON checkpoints
 and prints an aggregate comparison table (``--config`` loads the grid from
 a committed JSON sweep config). ``figures`` renders method×scenario SVG
 comparison figures from a sweep's checkpoints. ``codecs`` reports
-compression ratios on synthetic weights.
+compression ratios on synthetic weights. ``worker`` starts one
+distributed-execution worker that dials a scheduler started by a
+``run --executor dist --workers HOST:PORT`` elsewhere.
 """
 
 from __future__ import annotations
@@ -29,11 +32,14 @@ import sys
 
 import numpy as np
 
+from repro.exec.base import executor_names
 from repro.experiments.runner import ALGORITHMS, run_experiment
 from repro.metrics.report import format_table, time_to_accuracy
 from repro.utils.serialization import save_json
 
 __all__ = ["main", "build_parser"]
+
+_EXECUTORS = sorted(executor_names())
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -68,10 +74,29 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--lam", type=float, default=None)
     run_p.add_argument("--compression", default="default",
                        help='e.g. "polyline:4", "quant:8", "none"')
-    run_p.add_argument("--executor", default=None, choices=["serial", "parallel"],
+    run_p.add_argument("--executor", default=None, choices=_EXECUTORS,
                        help="client-execution backend (default: serial)")
     run_p.add_argument("--num-workers", type=int, default=None,
-                       help="parallel pool size (0 = CPU count)")
+                       help="parallel pool size / dist chunk count "
+                       "(0 = CPU count)")
+    run_p.add_argument("--workers", default=None, metavar="HOST:PORT",
+                       help="scheduler bind address for --executor dist; "
+                       "an explicit port waits for external `repro worker "
+                       "--connect HOST:PORT` processes, port 0 (default) "
+                       "self-spawns local workers")
+    run_p.add_argument("--heartbeat-interval", type=float, default=None,
+                       help="dist worker heartbeat cadence in seconds "
+                       "(default: 0.2)")
+    run_p.add_argument("--heartbeat-timeout", type=float, default=None,
+                       help="seconds of silence before a dist worker is "
+                       "declared dead and its lease requeued (default: 2)")
+    run_p.add_argument("--worker-grace", type=float, default=None,
+                       help="seconds a dist dispatch tolerates an empty "
+                       "worker roster before degrading (default: 30)")
+    run_p.add_argument("--profile-sample", type=int, default=None,
+                       help="tier-profile only N sampled clients at startup "
+                       "and assign the rest by interpolation (default: "
+                       "profile everyone)")
     run_p.add_argument("--dtype", default=None, choices=["float64", "float32"],
                        help="model parameter dtype (float32 halves memory "
                        "bandwidth; float64 keeps bit-identical histories)")
@@ -84,10 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rounds between online re-tiers for fedat/tifl "
                        "(0 = static tiers)")
     run_p.add_argument("--faults", default=None,
-                       help='deterministic chaos injection into the parallel '
-                       'executor, e.g. "crash:0.2", "hang:0.1", "corrupt:0.1" '
-                       'or a "+"-composition ("crash:0.2+corrupt:0.1"); '
-                       "requires --executor parallel")
+                       help='deterministic chaos injection into the executor '
+                       'workers, e.g. "crash:0.2", "hang:0.1", "corrupt:0.1", '
+                       'plus "drop:0.2" / "delay:0.3" network faults under '
+                       '--executor dist, or a "+"-composition '
+                       '("crash:0.2+corrupt:0.1"); requires --executor '
+                       "parallel or dist")
     run_p.add_argument("--chunk-timeout", type=float, default=None,
                        help="per-chunk wall-clock deadline (s) before the "
                        "supervisor respawns the pool and redispatches "
@@ -123,10 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
     cmp_p.add_argument("--target-fraction", type=float, default=0.9,
                        help="time-to-target threshold as a fraction of the "
                        "first method's best accuracy")
-    cmp_p.add_argument("--executor", default=None, choices=["serial", "parallel"],
+    cmp_p.add_argument("--executor", default=None, choices=_EXECUTORS,
                        help="client-execution backend (default: serial)")
     cmp_p.add_argument("--num-workers", type=int, default=None,
-                       help="parallel pool size (0 = CPU count)")
+                       help="parallel pool size / dist chunk count "
+                       "(0 = CPU count)")
     cmp_p.add_argument("--scenario", default=None,
                        help="dynamic-world scenario applied to every method")
     cmp_p.add_argument("--retier-interval", type=int, default=None,
@@ -165,10 +193,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="online re-tier cadence for tiered methods under "
                          "dynamic scenarios (default: auto — 20, or 3 with "
                          "--smoke)")
-    sweep_p.add_argument("--executor", default="serial", choices=["serial", "parallel"],
+    sweep_p.add_argument("--executor", default="serial", choices=_EXECUTORS,
                          help="client-execution backend for every cell")
     sweep_p.add_argument("--num-workers", type=int, default=0,
-                         help="parallel pool size (0 = CPU count)")
+                         help="parallel pool size / dist chunk count "
+                         "(0 = CPU count)")
     sweep_p.add_argument("--max-runs", type=int, default=None,
                          help="stop after N new cells (sweep stays resumable)")
 
@@ -184,6 +213,20 @@ def build_parser() -> argparse.ArgumentParser:
     codec_p = sub.add_parser("codecs", help="compression ratios on synthetic weights")
     codec_p.add_argument("--size", type=int, default=20_000)
     codec_p.add_argument("--std", type=float, default=0.1)
+
+    worker_p = sub.add_parser(
+        "worker",
+        help="run one distributed-execution worker (dials a dist scheduler)",
+    )
+    worker_p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                          help="scheduler address (the run side's --workers)")
+    worker_p.add_argument("--id", default=None, dest="worker_id",
+                          help="worker id (default: hostname-pid)")
+    worker_p.add_argument("--reconnect-window", type=float, default=30.0,
+                          help="seconds to keep retrying an unreachable "
+                          "scheduler before giving up (default: 30)")
+    worker_p.add_argument("--quiet", action="store_true",
+                          help="suppress per-event logging")
 
     sub.add_parser("list", help="list available methods and datasets")
     return parser
@@ -214,6 +257,16 @@ def _run_kwargs(args: argparse.Namespace) -> dict:
         kwargs["executor"] = args.executor
     if getattr(args, "num_workers", None) is not None:
         kwargs["num_workers"] = args.num_workers
+    if getattr(args, "workers", None) is not None:
+        kwargs["dist_bind"] = args.workers
+    if getattr(args, "heartbeat_interval", None) is not None:
+        kwargs["heartbeat_interval"] = args.heartbeat_interval
+    if getattr(args, "heartbeat_timeout", None) is not None:
+        kwargs["heartbeat_timeout"] = args.heartbeat_timeout
+    if getattr(args, "worker_grace", None) is not None:
+        kwargs["worker_grace"] = args.worker_grace
+    if getattr(args, "profile_sample", None) is not None:
+        kwargs["profile_sample"] = args.profile_sample
     if getattr(args, "dtype", None) is not None:
         kwargs["dtype"] = args.dtype
     if getattr(args, "scenario", None) is not None:
@@ -416,6 +469,24 @@ def _cmd_codecs(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_worker(args: argparse.Namespace) -> int:
+    from repro.exec.dist.worker import parse_address, run_worker
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"bad --connect address: {exc}", file=sys.stderr)
+        return 2
+    log = None if args.quiet else (lambda msg: print(msg, file=sys.stderr, flush=True))
+    return run_worker(
+        host,
+        port,
+        worker_id=args.worker_id,
+        reconnect_window=args.reconnect_window,
+        log=log,
+    )
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     from repro.data.datasets import DATASETS
     from repro.scenario import scenario_names
@@ -436,6 +507,7 @@ def main(argv: list[str] | None = None) -> int:
         "sweep": _cmd_sweep,
         "figures": _cmd_figures,
         "codecs": _cmd_codecs,
+        "worker": _cmd_worker,
         "list": _cmd_list,
     }
     return handlers[args.command](args)

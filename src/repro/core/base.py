@@ -180,7 +180,7 @@ class FLSystem:
         # per-family substreams, so the executor's failure schedule is as
         # reproducible as the simulation it stresses.
         fault_plan = None
-        if config.faults is not None and config.executor == "parallel":
+        if config.faults is not None and config.executor in ("parallel", "dist"):
             from repro.exec.faults import FaultPlan, parse_faults
 
             fault_spec = parse_faults(config.faults)
@@ -197,6 +197,10 @@ class FLSystem:
             chunk_timeout=config.chunk_timeout,
             chunk_retries=config.chunk_retries,
             degrade=config.fault_degrade,
+            bind=config.dist_bind,
+            heartbeat_interval=config.heartbeat_interval,
+            heartbeat_timeout=config.heartbeat_timeout,
+            worker_grace=config.worker_grace,
         )
         # Update quarantine: every aggregation path routes client results
         # through the guard (when configured) before they can touch the
@@ -541,6 +545,11 @@ class FLSystem:
         Shared by FedAT and TiFL (the paper adopts TiFL's tiering approach
         for both). Profiling uses an environment-named RNG stream so both
         methods recover the same tiers under one seed.
+
+        With ``profile_sample=k`` set (and ``k`` below the population size)
+        only ``k`` sampled clients are probed; everyone else is assigned by
+        interpolation (see :meth:`_build_tiering_sampled`). The default
+        profiles every client, bit-identical to all existing histories.
         """
         from repro.tiering.profiler import LatencyProfiler
         from repro.tiering.tiers import Tiering
@@ -550,12 +559,48 @@ class FLSystem:
             probe_rounds=self.config.profiler_probe_rounds,
             misprofile_fraction=self.config.misprofile_fraction,
         )
+        k = self.config.profile_sample
+        if k is not None and k < self.num_clients:
+            return self._build_tiering_sampled(profiler, k)
         latencies = self.population.profile_latencies(
             profiler, self.factory.rng("env/profile")
         )
         #: Kept as the prior for online re-tiering (see make_retier_tracker).
         self.profiled_latencies = latencies
         return Tiering.from_latencies(latencies, self.config.num_tiers)
+
+    def _build_tiering_sampled(self, profiler, k: int):
+        """Tier a large population from ``k`` probed clients.
+
+        Startup cost of full profiling is O(n) RNG probe draws — fine at
+        thousands of clients, dominant at a virtual million. Sampling keeps
+        the *probes* (the expensive, noisy measurement) at O(k): tier
+        boundaries come from quantiles of the k sampled probe latencies,
+        and every client is then assigned by ``searchsorted`` over its
+        (vectorized, draw-free) expected latency. Deterministic given the
+        seed; degenerate quantiles — an empty tier — fall back to sorting
+        expected latencies directly, so the invariant that every tier is
+        populated survives any latency distribution.
+        """
+        from repro.tiering.tiers import Tiering
+
+        rng = self.factory.rng("env/profile")
+        num_tiers = self.config.num_tiers
+        ids = np.sort(rng.choice(self.num_clients, size=int(k), replace=False))
+        sampled = self.population.profile_latencies_subset(profiler, ids, rng)
+        expected = self.population.expected_latencies(self.config.local_epochs)
+        #: Kept as the prior for online re-tiering (see make_retier_tracker);
+        #: expected latencies are exactly that method's no-profile fallback.
+        self.profiled_latencies = expected
+        boundaries = np.quantile(sampled, np.arange(1, num_tiers) / num_tiers)
+        assignment = np.searchsorted(boundaries, expected, side="right")
+        tiers = [np.flatnonzero(assignment == m) for m in range(num_tiers)]
+        if any(t.size == 0 for t in tiers):
+            # Sampled boundaries missed part of the support (tiny sample or
+            # heavy ties); equal-count split over expected latencies keeps
+            # every tier populated without probing anyone else.
+            return Tiering.from_latencies(expected, num_tiers)
+        return Tiering(tiers)
 
     def make_retier_tracker(self):
         """Latency tracker for online re-tiering, or None when disabled.
@@ -773,7 +818,11 @@ class FLSystem:
             # Fault-tolerance telemetry, only when the run configured it:
             # recovery counters are wall-clock-race diagnostics (like
             # phase_seconds), the guard snapshot is deterministic.
-            if self.config.faults is not None or self.config.chunk_timeout is not None:
+            if (
+                self.config.faults is not None
+                or self.config.chunk_timeout is not None
+                or self.config.executor == "dist"
+            ):
                 counters = getattr(self.executor, "fault_counters", None)
                 if counters is not None:
                     self.history.meta["faults"] = dict(counters)

@@ -69,22 +69,45 @@ class FLConfig:
     # --- client execution -------------------------------------------------#
     # Backend that runs cohorts of local-training tasks: "serial" trains
     # through one shared worker model; "parallel" fans out to a process pool
-    # of model replicas (bit-identical histories, see repro.exec).
+    # of model replicas; "dist" dispatches chunk leases to socket-connected
+    # workers (bit-identical histories either way, see repro.exec). Any
+    # name accepted by repro.exec.register_executor is valid.
     executor: str = "serial"
-    num_workers: int = 0  # parallel pool size; 0 => CPU count
+    num_workers: int = 0  # pool size / dist chunk count; 0 => CPU count
+    # Scheduler bind address for executor="dist". Port 0 (the default)
+    # picks an ephemeral port and self-spawns local worker processes; an
+    # explicit port listens for external `repro worker --connect` workers.
+    dist_bind: str = "127.0.0.1:0"
+    # Worker liveness (executor="dist"): workers heartbeat every
+    # `heartbeat_interval` seconds; a connection quiet for longer than
+    # `heartbeat_timeout` is declared dead and its chunk lease requeued.
+    heartbeat_interval: float = 0.2
+    heartbeat_timeout: float = 2.0
+    # How long a dist dispatch tolerates an empty worker roster (seconds)
+    # before its chunks degrade to in-process execution.
+    worker_grace: float = 30.0
+    # --- startup profiling ------------------------------------------------#
+    # Tier-profile only this many sampled clients at startup and assign the
+    # rest by interpolation (quantile boundaries over expected latencies).
+    # None profiles every client — the paper's behavior and bit-identical
+    # to all existing goldens; sampling makes million-client virtual
+    # population startup sublinear in probe work.
+    profile_sample: int | None = None
     # --- fault tolerance --------------------------------------------------#
-    # Deterministic chaos injection into the parallel executor's worker
-    # pool: "crash:<p>", "hang:<p>", "corrupt:<p>", "+"-composable
-    # ("crash:0.2+corrupt:0.1"). Faults are drawn from seeded per-family
-    # substreams keyed by (dispatch, chunk, attempt), so a chaos run's
-    # fault schedule is bit-reproducible. None disables injection. Serial
-    # execution has no worker processes, so faults only apply when
-    # executor="parallel".
+    # Deterministic chaos injection into the executor's worker fleet:
+    # "crash:<p>", "hang:<p>", "corrupt:<p>", plus — dist only —
+    # "drop:<p>" (severed connections) and "delay:<p>" (stalled result
+    # frames); "+"-composable ("crash:0.2+corrupt:0.1"). Faults are drawn
+    # from seeded per-family substreams keyed by (dispatch, chunk,
+    # attempt), so a chaos run's fault schedule is bit-reproducible. None
+    # disables injection. Serial execution has no worker processes, so
+    # faults only apply when executor is "parallel" or "dist".
     faults: str | None = None
     # Per-chunk wall-clock deadline (seconds) before the supervisor
-    # declares a dispatched chunk hung, respawns the pool, and
-    # redispatches. None disables deadlines (crash recovery still works
-    # via dead-worker detection). Required when injecting "hang" faults.
+    # declares a dispatched chunk hung, recovers the worker (pool respawn /
+    # lease requeue), and redispatches. None disables deadlines (crash
+    # recovery still works via dead-worker detection). Required when
+    # injecting "hang" faults.
     chunk_timeout: float | None = None
     # Redispatch budget per chunk (attempts = 1 + chunk_retries) before
     # the chunk degrades or the run errors out.
@@ -164,22 +187,38 @@ class FLConfig:
             raise ValueError(f"unknown dtype {self.dtype!r}; options: float64, float32")
         if self.optimizer not in ("adam", "sgd"):
             raise ValueError(f"unknown optimizer {self.optimizer!r}")
-        if self.executor not in ("serial", "parallel"):
-            raise ValueError(f"unknown executor {self.executor!r}")
+        from repro.exec.base import executor_names
+
+        if self.executor not in executor_names():
+            raise ValueError(
+                f"unknown executor {self.executor!r}; "
+                f"registered: {', '.join(executor_names())}"
+            )
         if self.num_workers < 0:
             raise ValueError("num_workers must be >= 0 (0 means CPU count)")
         if self.chunk_timeout is not None and self.chunk_timeout <= 0:
             raise ValueError("chunk_timeout must be positive (None disables)")
         if self.chunk_retries < 0:
             raise ValueError("chunk_retries must be >= 0")
+        if self.heartbeat_interval <= 0:
+            raise ValueError("heartbeat_interval must be positive")
+        if self.heartbeat_timeout <= self.heartbeat_interval:
+            raise ValueError(
+                "heartbeat_timeout must exceed heartbeat_interval, or every "
+                "worker misses its liveness deadline between beats"
+            )
+        if self.worker_grace <= 0:
+            raise ValueError("worker_grace must be positive")
+        if self.profile_sample is not None and self.profile_sample < 1:
+            raise ValueError("profile_sample must be >= 1 (None profiles everyone)")
         if self.faults is not None:
-            from repro.exec.faults import parse_faults
+            from repro.exec.faults import NETWORK_FAULT_FAMILIES, parse_faults
 
             spec = parse_faults(self.faults)  # raises ValueError on bad specs
             if (
                 spec is not None
                 and spec.hang > 0
-                and self.executor == "parallel"
+                and self.executor in ("parallel", "dist")
                 and self.chunk_timeout is None
             ):
                 raise ValueError(
@@ -187,6 +226,16 @@ class FLConfig:
                     "sleeps past any deadline, so without one the run "
                     "would block forever"
                 )
+            if spec is not None and self.executor != "dist":
+                network = [
+                    f for f in NETWORK_FAULT_FAMILIES if getattr(spec, f) > 0
+                ]
+                if network:
+                    raise ValueError(
+                        f"fault families {', '.join(network)} model the "
+                        "scheduler/worker network and require executor='dist' "
+                        "(the process pool has no connection to sever)"
+                    )
         if self.guard is not None:
             from repro.core.guard import UpdateGuard
 

@@ -9,16 +9,32 @@ tasks is executed:
   cohort order (the original simulator behavior, and the default);
 - :class:`ParallelExecutor` — a process pool with per-worker model replicas
   rebuilt via :meth:`repro.nn.model.Sequential.clone`, chunked cohort
-  dispatch, and bit-identical results (enforced by ``tests/exec/``).
+  dispatch, and bit-identical results (enforced by ``tests/exec/``);
+- :class:`DistExecutor` — a socket scheduler with heartbeating workers
+  (local child processes or remote ``repro worker`` processes), chunk
+  leases with capped redispatch, and the same bit-identical guarantee
+  (see :mod:`repro.exec.dist`).
+
+Backends resolve by name through :func:`register_executor` /
+:func:`make_executor`, so new execution strategies plug in without
+touching the config or CLI layers.
 
 Determinism contract: a :class:`CohortTask` carries everything a round
 depends on — explicit batch-schedule cursor (``start_epoch``), epoch count,
 proximal λ, pre-sampled latency — so local training is a pure function of
-``(task, start_weights)`` and both backends produce identical
+``(task, start_weights)`` and every backend produces identical
 :class:`~repro.sim.client.LocalTrainingResult` records.
 """
 
-from repro.exec.base import ClientExecutor, CohortTask, OptimizerSpec, make_executor
+from repro.exec.base import (
+    ClientExecutor,
+    CohortTask,
+    OptimizerSpec,
+    executor_names,
+    make_executor,
+    register_executor,
+)
+from repro.exec.dist import DistExecutor
 from repro.exec.faults import (
     ExecutorFaultError,
     FaultPlan,
@@ -35,7 +51,10 @@ __all__ = [
     "OptimizerSpec",
     "SerialExecutor",
     "ParallelExecutor",
+    "DistExecutor",
     "make_executor",
+    "register_executor",
+    "executor_names",
     "encode_batch",
     "decode_batch",
     "roundtrip_batch",

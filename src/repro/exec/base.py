@@ -12,7 +12,14 @@ from repro.nn.optimizers import SGD, Adam, Optimizer
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
     from repro.sim.client import LocalTrainingResult
 
-__all__ = ["CohortTask", "OptimizerSpec", "ClientExecutor", "make_executor"]
+__all__ = [
+    "CohortTask",
+    "OptimizerSpec",
+    "ClientExecutor",
+    "make_executor",
+    "register_executor",
+    "executor_names",
+]
 
 
 @dataclass(frozen=True)
@@ -87,34 +94,49 @@ class ClientExecutor:
         self.close()
 
 
-def make_executor(
-    spec: str,
-    *,
-    model,
-    clients,
-    loss,
-    optimizer: OptimizerSpec,
-    num_workers: int = 0,
-    faults=None,
-    chunk_timeout: float | None = None,
-    chunk_retries: int = 3,
-    degrade: bool = True,
-) -> ClientExecutor:
-    """Build an executor backend from its config name.
+#: Executor backend registry: config name -> factory. Factories receive
+#: every knob :func:`make_executor` was called with and pick what they
+#: need, so new backends register without editing a central if/else chain.
+_EXECUTOR_REGISTRY: dict = {}
 
-    ``"serial"`` trains through the shared worker model; ``"parallel"``
-    fans cohorts out to a process pool (``num_workers=0`` → CPU count).
-    The fault-tolerance knobs (``faults`` — a :class:`~repro.exec.faults.
-    FaultPlan`, ``chunk_timeout``, ``chunk_retries``, ``degrade``) only
-    apply to the parallel backend; serial execution has no worker
-    processes to lose.
+
+def register_executor(name: str, factory) -> None:
+    """Register (or replace) an executor backend under a config name.
+
+    ``factory(model=..., clients=..., loss=..., optimizer=..., **knobs)``
+    must return a :class:`ClientExecutor`. Registration is what makes the
+    name valid for ``FLConfig.executor`` and the ``--executor`` flags.
     """
-    from repro.exec.parallel import ParallelExecutor
-    from repro.exec.serial import SerialExecutor
+    if not name or not isinstance(name, str):
+        raise ValueError(f"executor name must be a non-empty string, got {name!r}")
+    _EXECUTOR_REGISTRY[name] = factory
 
-    if spec == "serial":
+
+def _ensure_builtins() -> None:
+    """Lazily register the built-in backends (import-cycle safe)."""
+    if "serial" in _EXECUTOR_REGISTRY:
+        return
+
+    def _serial(*, model, clients, loss, optimizer, **_ignored):
+        from repro.exec.serial import SerialExecutor
+
         return SerialExecutor(model, clients, loss, optimizer)
-    if spec == "parallel":
+
+    def _parallel(
+        *,
+        model,
+        clients,
+        loss,
+        optimizer,
+        num_workers=0,
+        faults=None,
+        chunk_timeout=None,
+        chunk_retries=3,
+        degrade=True,
+        **_ignored,
+    ):
+        from repro.exec.parallel import ParallelExecutor
+
         return ParallelExecutor(
             model,
             clients,
@@ -126,4 +148,78 @@ def make_executor(
             chunk_retries=chunk_retries,
             degrade=degrade,
         )
-    raise ValueError(f"unknown executor {spec!r}; options: serial, parallel")
+
+    def _dist(
+        *,
+        model,
+        clients,
+        loss,
+        optimizer,
+        num_workers=0,
+        faults=None,
+        chunk_timeout=None,
+        chunk_retries=3,
+        degrade=True,
+        bind="127.0.0.1:0",
+        heartbeat_interval=0.2,
+        heartbeat_timeout=2.0,
+        worker_grace=30.0,
+        **_ignored,
+    ):
+        from repro.exec.dist import DistExecutor
+
+        return DistExecutor(
+            model,
+            clients,
+            loss,
+            optimizer,
+            num_workers=num_workers,
+            faults=faults,
+            chunk_timeout=chunk_timeout,
+            chunk_retries=chunk_retries,
+            degrade=degrade,
+            bind=bind,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+            worker_grace=worker_grace,
+        )
+
+    register_executor("serial", _serial)
+    register_executor("parallel", _parallel)
+    register_executor("dist", _dist)
+
+
+def executor_names() -> tuple[str, ...]:
+    """Sorted names of every registered executor backend."""
+    _ensure_builtins()
+    return tuple(sorted(_EXECUTOR_REGISTRY))
+
+
+def make_executor(
+    spec: str,
+    *,
+    model,
+    clients,
+    loss,
+    optimizer: OptimizerSpec,
+    **knobs,
+) -> ClientExecutor:
+    """Build an executor backend from its config name.
+
+    ``"serial"`` trains through the shared worker model; ``"parallel"``
+    fans cohorts out to a process pool (``num_workers=0`` → CPU count);
+    ``"dist"`` dispatches lease-supervised chunks to socket-connected
+    workers (see :mod:`repro.exec.dist`). Backends resolve through the
+    :func:`register_executor` registry, and every factory receives the
+    full knob set (``num_workers``, ``faults``, ``chunk_timeout``,
+    ``chunk_retries``, ``degrade``, ``bind``, heartbeat/lease settings),
+    taking what applies — serial execution, for instance, has no worker
+    processes to lose and ignores all of them.
+    """
+    _ensure_builtins()
+    factory = _EXECUTOR_REGISTRY.get(spec)
+    if factory is None:
+        raise ValueError(
+            f"unknown executor {spec!r}; registered: {', '.join(executor_names())}"
+        )
+    return factory(model=model, clients=clients, loss=loss, optimizer=optimizer, **knobs)

@@ -1,0 +1,32 @@
+"""Distributed scheduler/worker execution backend.
+
+Layout:
+
+- :mod:`~repro.exec.dist.wire` — length-prefixed pickled frames with crc32;
+- :mod:`~repro.exec.dist.leases` — per-dispatch chunk-lease state machine;
+- :mod:`~repro.exec.dist.scheduler` — selector-loop scheduler thread
+  (registration, heartbeats, lease assignment, recovery);
+- :mod:`~repro.exec.dist.worker` — the worker process (``repro worker``);
+- :mod:`~repro.exec.dist.executor` — :class:`DistExecutor`, the
+  ``ClientExecutor`` facade registered as ``executor="dist"``.
+"""
+
+from repro.exec.dist.executor import DistExecutor
+from repro.exec.dist.leases import Lease, LeaseTable, chunk_tasks
+from repro.exec.dist.scheduler import Scheduler
+from repro.exec.dist.wire import FrameBuffer, FrameError, recv_frame, send_frame
+from repro.exec.dist.worker import parse_address, run_worker
+
+__all__ = [
+    "DistExecutor",
+    "Scheduler",
+    "Lease",
+    "LeaseTable",
+    "chunk_tasks",
+    "FrameBuffer",
+    "FrameError",
+    "send_frame",
+    "recv_frame",
+    "run_worker",
+    "parse_address",
+]

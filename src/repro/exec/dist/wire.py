@@ -1,0 +1,119 @@
+"""Length-prefixed pickled frames with crc32 integrity.
+
+The scheduler and its workers speak one frame format over TCP::
+
+    +--------+-----------+----------------+
+    | length | crc32     | pickle payload |
+    | uint32 | uint32    | `length` bytes |
+    +--------+-----------+----------------+
+
+(network byte order). The crc covers the payload bytes, so a torn or
+bit-flipped frame is detected at the transport boundary — the same
+integrity discipline :func:`repro.exec.faults.chunk_checksum` applies to
+result *contents* end to end. Payloads are tuples whose first element is
+a message-type string (see :data:`MSG` in :mod:`repro.exec.dist.scheduler`
+/ ``worker``).
+
+Two consumption styles:
+
+- :func:`send_frame` / :func:`recv_frame` — blocking sockets (the worker
+  side, one frame at a time);
+- :class:`FrameBuffer` — incremental parsing for the scheduler's
+  non-blocking selector loop (feed bytes, iterate complete frames).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+import zlib
+
+__all__ = ["FrameError", "send_frame", "recv_frame", "FrameBuffer", "MAX_FRAME_BYTES"]
+
+_HEADER = struct.Struct("!II")
+
+#: Sanity ceiling on a single frame (weights broadcasts dominate; a model
+#: beyond this is almost certainly a corrupted length header).
+MAX_FRAME_BYTES = 1 << 31
+
+
+class FrameError(RuntimeError):
+    """A frame failed structural or crc32 validation."""
+
+
+def encode_frame(obj) -> bytes:
+    """Serialize one message into its wire bytes (header + payload)."""
+    payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME_BYTES:
+        raise FrameError(f"frame payload of {len(payload)} bytes exceeds the cap")
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def send_frame(sock, obj, *, lock=None) -> None:
+    """Pickle + frame + send one message (optionally under a send lock).
+
+    The lock serializes writers — the worker's heartbeat thread and its
+    result path share one socket, and interleaved ``sendall`` calls would
+    shear frames.
+    """
+    data = encode_frame(obj)
+    if lock is not None:
+        with lock:
+            sock.sendall(data)
+    else:
+        sock.sendall(data)
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        part = sock.recv(remaining)
+        if not part:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(part)
+        remaining -= len(part)
+    return b"".join(chunks)
+
+
+def recv_frame(sock):
+    """Read one complete frame from a blocking socket and unpickle it."""
+    length, crc = _HEADER.unpack(_recv_exact(sock, _HEADER.size))
+    if length > MAX_FRAME_BYTES:
+        raise FrameError(f"frame length {length} exceeds the cap")
+    payload = _recv_exact(sock, length)
+    if zlib.crc32(payload) != crc:
+        raise FrameError("frame crc32 mismatch")
+    return pickle.loads(payload)
+
+
+class FrameBuffer:
+    """Incremental frame parser for non-blocking reads.
+
+    Feed whatever bytes ``recv`` produced; :meth:`drain` yields every
+    complete, crc-verified message and retains the partial tail.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def drain(self):
+        out = []
+        while True:
+            if len(self._buf) < _HEADER.size:
+                break
+            length, crc = _HEADER.unpack_from(self._buf, 0)
+            if length > MAX_FRAME_BYTES:
+                raise FrameError(f"frame length {length} exceeds the cap")
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                break
+            payload = bytes(self._buf[_HEADER.size : end])
+            del self._buf[:end]
+            if zlib.crc32(payload) != crc:
+                raise FrameError("frame crc32 mismatch")
+            out.append(pickle.loads(payload))
+        return out

@@ -1,0 +1,239 @@
+"""Distributed worker: register, heartbeat, serve chunk leases.
+
+One worker process holds one :class:`~repro.exec.serial.SerialExecutor`
+(model replica + client replicas + compiled training plan), built from the
+init payload the scheduler ships at registration. The life cycle follows
+the AstraFlow worker/scheduler split:
+
+- **register** — connect to the scheduler, announce ``worker_id`` and
+  whether an init payload is already held (a reconnecting worker keeps its
+  executor and only re-syncs the current weights version);
+- **heartbeat** — a daemon thread beats every ``heartbeat_interval``
+  seconds over the same socket (frame writes are lock-serialized), so the
+  scheduler can tell a live-but-slow worker from a dead one;
+- **serve** — execute each lease ``(dispatch, chunk, attempt)`` through
+  the serial core and reply with results + a crc32 chunk checksum.
+
+Injected faults (:class:`~repro.exec.faults.FaultPlan`, drawn per lease
+key so chaos runs are bit-reproducible) fire here, where the real failure
+would: ``crash`` kills the process, ``hang``/``delay`` stall the result
+frame, ``corrupt`` damages it after the checksum, and ``drop`` severs the
+connection — after which this loop reconnects and re-registers, exactly
+like a worker behind a flapping link.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import time
+
+import numpy as np
+
+from repro.exec.dist.wire import FrameError, recv_frame, send_frame
+from repro.exec.faults import FaultPlan, chunk_checksum, corrupt_results
+from repro.exec.serial import SerialExecutor
+
+__all__ = ["run_worker", "parse_address"]
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``"host:port"`` -> ``(host, port)`` (IPv4/hostname form)."""
+    host, sep, port = text.rpartition(":")
+    if not sep or not host:
+        raise ValueError(f"address {text!r} must look like host:port")
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(f"bad port in address {text!r}") from None
+
+
+class _WorkerCore:
+    """Executor + weights cache that survive reconnects."""
+
+    def __init__(self, worker_id: str):
+        self.worker_id = worker_id
+        self.executor: SerialExecutor | None = None
+        self.plan: FaultPlan | None = None
+        self.heartbeat_interval = 0.2
+        self.weights_version = -1
+        self.weights: np.ndarray | None = None
+
+    def install_init(self, payload: dict) -> None:
+        self.executor = SerialExecutor(
+            payload["model"],
+            payload["clients"],
+            payload["loss"],
+            payload["optimizer"],
+        )
+        self.plan = payload.get("faults")
+        self.heartbeat_interval = float(payload.get("heartbeat_interval", 0.2))
+
+    # ------------------------------------------------------------------ #
+    def serve(self, sock: socket.socket, log=None) -> str:
+        """Drive one connected session; returns why it ended.
+
+        ``"shutdown"`` — scheduler told us to exit; ``"drop"`` — injected
+        connection drop (caller reconnects); ``"eof"`` — peer vanished.
+        """
+        send_lock = threading.Lock()
+        send_frame(
+            sock,
+            (
+                "register",
+                self.worker_id,
+                os.getpid(),
+                self.executor is not None,
+                self.weights_version,
+            ),
+            lock=send_lock,
+        )
+        stop_beats = threading.Event()
+        beats: threading.Thread | None = None
+
+        def _beat():
+            while not stop_beats.wait(self.heartbeat_interval):
+                try:
+                    send_frame(sock, ("heartbeat", self.worker_id), lock=send_lock)
+                except OSError:
+                    return
+
+        def _ensure_beats():
+            nonlocal beats
+            if beats is None and self.heartbeat_interval > 0:
+                beats = threading.Thread(target=_beat, daemon=True)
+                beats.start()
+
+        try:
+            while True:
+                try:
+                    msg = recv_frame(sock)
+                except (ConnectionError, FrameError, OSError):
+                    return "eof"
+                kind = msg[0]
+                if kind == "shutdown":
+                    return "shutdown"
+                if kind == "init":
+                    self.install_init(msg[1])
+                    _ensure_beats()
+                    if log:
+                        log(f"worker {self.worker_id}: initialized")
+                    continue
+                _ensure_beats()
+                if kind == "weights":
+                    _, version, weights = msg
+                    self.weights_version = int(version)
+                    w = np.ascontiguousarray(weights)
+                    w.flags.writeable = False
+                    self.weights = w
+                    continue
+                if kind == "lease":
+                    outcome = self._serve_lease(sock, send_lock, msg, log)
+                    if outcome is not None:
+                        return outcome
+                    continue
+                # Unknown frames are ignored (forward compatibility).
+        finally:
+            stop_beats.set()
+
+    def _serve_lease(self, sock, send_lock, msg, log) -> str | None:
+        _, dispatch, chunk, attempt, version, tasks = msg
+        key = (int(dispatch), int(chunk), int(attempt))
+        injected: tuple[str, ...] = ()
+        if self.plan is not None:
+            injected = self.plan.chunk_faults(*key)
+            if "crash" in injected:
+                # Die the way an OOM-killed worker dies: no goodbye frame.
+                os._exit(3)
+            if "drop" in injected:
+                # Sever the link before doing any work — the scheduler sees
+                # EOF, requeues the lease, and we reconnect + re-register.
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+                return "drop"
+        if self.executor is None or self.weights is None or version != self.weights_version:
+            send_frame(
+                sock,
+                ("error", *key, f"worker missing weights version {version}"),
+                lock=send_lock,
+            )
+            return None
+        try:
+            results = self.executor.run_cohort(self.weights, tasks)
+        except Exception as exc:  # deterministic task bug — report, don't die
+            send_frame(
+                sock,
+                ("error", *key, f"{type(exc).__name__}: {exc}"),
+                lock=send_lock,
+            )
+            return None
+        checksum = chunk_checksum(results) if self.plan is not None else None
+        if "corrupt" in injected:
+            # Damage the payload *after* the checksum, modelling in-transit
+            # corruption the scheduler's verify must catch.
+            corrupt_results(results)
+        if "delay" in injected:
+            time.sleep(self.plan.delay_seconds)
+        if "hang" in injected:
+            # Heartbeats keep flowing (the thread lives) — only the lease
+            # deadline can recover a wedged executor, exactly like the pool.
+            time.sleep(self.plan.hang_seconds)
+        try:
+            send_frame(sock, ("result", *key, results, checksum), lock=send_lock)
+        except OSError:
+            return "eof"
+        if log:
+            log(f"worker {self.worker_id}: chunk {chunk} attempt {attempt} done")
+        return None
+
+
+def run_worker(
+    host: str,
+    port: int,
+    *,
+    worker_id: str | None = None,
+    reconnect_window: float = 30.0,
+    retry_delay: float = 0.2,
+    log=None,
+) -> int:
+    """Run one worker until the scheduler shuts it down.
+
+    Connection losses — scheduler restart, injected ``drop`` faults, plain
+    network failure — are retried every ``retry_delay`` seconds until
+    ``reconnect_window`` elapses without a successful registration; then
+    the worker gives up (exit code 1). A clean ``shutdown`` frame exits 0.
+    """
+    if worker_id is None:
+        worker_id = f"{socket.gethostname()}-{os.getpid()}"
+    core = _WorkerCore(worker_id)
+    give_up = time.monotonic() + reconnect_window
+    while True:
+        try:
+            sock = socket.create_connection((host, port), timeout=10.0)
+        except OSError:
+            if time.monotonic() > give_up:
+                if log:
+                    log(f"worker {worker_id}: scheduler unreachable, giving up")
+                return 1
+            time.sleep(retry_delay)
+            continue
+        sock.settimeout(None)
+        try:
+            why = core.serve(sock, log)
+        except Exception:
+            why = "eof"
+        finally:
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if why == "shutdown":
+            if log:
+                log(f"worker {worker_id}: shutdown")
+            return 0
+        # Successful session: the reconnect window restarts from now.
+        give_up = time.monotonic() + reconnect_window
+        time.sleep(retry_delay if why == "eof" else 0.0)

@@ -12,7 +12,7 @@ Grammar (mirrors the scenario grammar)::
 
     spec     := atom ("+" atom)*
     atom     := family ":" probability        # probability in [0, 1]
-    family   := "crash" | "hang" | "corrupt"
+    family   := "crash" | "hang" | "corrupt" | "drop" | "delay"
 
 - ``crash:<p>`` — with probability ``p`` per dispatched chunk, the worker
   process dies mid-chunk (``os._exit``), simulating an OOM-kill or
@@ -22,6 +22,14 @@ Grammar (mirrors the scenario grammar)::
 - ``corrupt:<p>`` — the chunk's result weights are corrupted after the
   integrity checksum is taken, simulating bit-rot in transit; the parent
   detects the mismatch and redispatches.
+- ``drop:<p>`` — the worker abruptly severs its scheduler connection on
+  receipt of the lease (a network partition / dropped TCP session), then
+  reconnects and re-registers; the scheduler requeues the lease.
+  Distributed executor only.
+- ``delay:<p>`` — the worker stalls for ``delay_seconds`` before sending
+  its result frame (a congested or flapping link); recovery is either
+  patience or, past the lease deadline, a redispatch. Distributed
+  executor only.
 
 Decisions are keyed by ``(dispatch, chunk, attempt)``: the first attempt
 of a chunk may draw a fault while its redispatch draws fresh — so capped
@@ -43,6 +51,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints only
 
 __all__ = [
     "FAULT_FAMILIES",
+    "NETWORK_FAULT_FAMILIES",
     "FaultSpec",
     "FaultPlan",
     "ExecutorFaultError",
@@ -51,7 +60,12 @@ __all__ = [
     "corrupt_results",
 ]
 
-FAULT_FAMILIES = ("crash", "hang", "corrupt")
+FAULT_FAMILIES = ("crash", "hang", "corrupt", "drop", "delay")
+
+#: Families that model the *network* between scheduler and worker; they
+#: only make sense for the distributed executor (the process pool has no
+#: connection to sever or frame to stall).
+NETWORK_FAULT_FAMILIES = ("drop", "delay")
 
 
 @dataclass(frozen=True)
@@ -61,6 +75,8 @@ class FaultSpec:
     crash: float = 0.0
     hang: float = 0.0
     corrupt: float = 0.0
+    drop: float = 0.0
+    delay: float = 0.0
 
     def __post_init__(self):
         for family in FAULT_FAMILIES:
@@ -73,7 +89,7 @@ class FaultSpec:
     @property
     def is_null(self) -> bool:
         """True when no family can ever fire (the machinery still engages)."""
-        return self.crash == 0.0 and self.hang == 0.0 and self.corrupt == 0.0
+        return all(getattr(self, f) == 0.0 for f in FAULT_FAMILIES)
 
     def active_families(self) -> tuple[str, ...]:
         return tuple(f for f in FAULT_FAMILIES if getattr(self, f) > 0.0)
@@ -123,14 +139,27 @@ class FaultPlan:
     it) derive identical decisions from the same key.
     """
 
-    def __init__(self, spec: FaultSpec, *, seed: int = 0, hang_seconds: float = 3600.0):
+    def __init__(
+        self,
+        spec: FaultSpec,
+        *,
+        seed: int = 0,
+        hang_seconds: float = 3600.0,
+        delay_seconds: float = 0.25,
+    ):
         if hang_seconds <= 0:
             raise ValueError("hang_seconds must be positive")
+        if delay_seconds <= 0:
+            raise ValueError("delay_seconds must be positive")
         self.spec = spec
         self.seed = int(seed)
         #: How long an injected hang sleeps; recovery must come from the
         #: executor's per-chunk timeout, never from the sleep expiring.
         self.hang_seconds = float(hang_seconds)
+        #: How long an injected ``delay`` stalls the result frame: long
+        #: enough to reorder arrivals, short enough to resolve by patience
+        #: (no lease deadline required).
+        self.delay_seconds = float(delay_seconds)
 
     def _draw(self, family: str, dispatch: int, chunk: int, attempt: int) -> bool:
         p = getattr(self.spec, family)

@@ -25,6 +25,7 @@ from repro.utils.serialization import load_json, save_json
 
 __all__ = [
     "ALGORITHMS",
+    "EXECUTION_ONLY_KEYS",
     "build_federation",
     "build_virtual_population",
     "run_experiment",
@@ -47,6 +48,31 @@ ALGORITHMS = {
 
 _MEMORY_CACHE: dict[str, RunHistory] = {}
 _CACHE_DIR = Path(".bench_cache")
+
+#: FLConfig knobs that steer *how* a run executes — backend choice, process
+#: pool / distributed-worker topology, fault injection, lease budgets — but
+#: by the executor-equivalence contract never change a single bit of the
+#: resulting history. They are normalized out of cache and checkpoint keys:
+#: a history computed serially satisfies a ``run_cached`` request for the
+#: same experiment under ``executor="dist"``, and a checkpoint written by a
+#: serial run resumes under any executor (``_CHECKPOINT_EXCLUDE`` already
+#: keeps executor state out of the snapshot). ``profile_sample`` is *not*
+#: here: sampled tier profiling changes tier assignments and therefore the
+#: history bits.
+EXECUTION_ONLY_KEYS = frozenset(
+    {
+        "executor",
+        "num_workers",
+        "dist_bind",
+        "heartbeat_interval",
+        "heartbeat_timeout",
+        "worker_grace",
+        "faults",
+        "chunk_timeout",
+        "chunk_retries",
+        "fault_degrade",
+    }
+)
 
 
 def build_federation(
@@ -194,8 +220,10 @@ def run_experiment(
     if checkpoint_dir is not None:
         from repro.experiments.checkpoint import RunCheckpointer
 
-        # Key the checkpoint by every parameter that shapes the run, so a
-        # resume can never continue a different experiment's state.
+        # Key the checkpoint by every parameter that shapes the run's
+        # *results*, so a resume can never continue a different
+        # experiment's state — but not by execution-only knobs, so a run
+        # started serially can resume distributed (and vice versa).
         key = _cache_key(
             {
                 "method": method,
@@ -229,7 +257,8 @@ def run_experiment(
 
 
 def _cache_key(kwargs: dict) -> str:
-    blob = json.dumps(kwargs, sort_keys=True, default=str)
+    keyed = {k: v for k, v in kwargs.items() if k not in EXECUTION_ONLY_KEYS}
+    blob = json.dumps(keyed, sort_keys=True, default=str)
     return hashlib.sha256(blob.encode()).hexdigest()[:20]
 
 
@@ -238,6 +267,10 @@ def run_cached(method: str, dataset_name: str, **kwargs) -> RunHistory:
 
     Benchmarks for different tables/figures share runs through this cache;
     delete ``.bench_cache/`` (or call :func:`clear_cache`) to force re-runs.
+    Keys ignore :data:`EXECUTION_ONLY_KEYS`, so the same experiment run
+    under a different executor (or fault schedule) hits the cache — the
+    history bits are identical by contract, only volatile meta (timings,
+    fault counters) differs.
     """
     key = _cache_key({"method": method, "dataset": dataset_name, **kwargs})
     if key in _MEMORY_CACHE:

@@ -106,6 +106,17 @@ class Population:
         """Per-client latency estimates for tier assignment."""
         raise NotImplementedError
 
+    def profile_latencies_subset(
+        self, profiler, client_ids, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Latency estimates for a sampled subset of clients.
+
+        Default path materializes just the named clients; virtual
+        populations override with a vectorized probe so sampled tier
+        profiling (``profile_sample``) never touches the other millions.
+        """
+        return profiler.profile([self.client(int(i)) for i in client_ids], rng)
+
     def build_evaluator(
         self,
         model: Sequential,

@@ -387,6 +387,14 @@ class VirtualPopulation(Population):
     def profile_latencies(self, profiler, rng: np.random.Generator) -> np.ndarray:
         return profiler.profile_sizes(self._latency_model, self.train_sizes(), rng)
 
+    def profile_latencies_subset(
+        self, profiler, client_ids, rng: np.random.Generator
+    ) -> np.ndarray:
+        ids = np.asarray(client_ids, dtype=np.int64)
+        return profiler.profile_sizes(
+            self._latency_model, self.train_sizes()[ids], rng, client_ids=ids
+        )
+
     def build_evaluator(
         self,
         model: Sequential,

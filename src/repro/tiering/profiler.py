@@ -60,6 +60,8 @@ class LatencyProfiler:
         latency_model,
         train_sizes: np.ndarray,
         rng: np.random.Generator,
+        *,
+        client_ids: np.ndarray | None = None,
     ) -> np.ndarray:
         """Vectorized :meth:`profile` over train-set sizes (no client objects).
 
@@ -70,12 +72,22 @@ class LatencyProfiler:
         ``rng.uniform`` over arrays consumes the stream in the same order as
         the scalar calls), and the probe mean reduces each row the same way
         ``np.mean`` reduces a probe list.
+
+        ``client_ids`` profiles a *subset*: ``train_sizes`` then aligns with
+        those ids (not the full population) and each id selects its own
+        delay band. Sampled tier profiling (``profile_sample``) probes this
+        way so startup stays sublinear in the population size.
         """
         sizes = np.asarray(train_sizes, dtype=np.int64)
         compute = latency_model.compute
         duration = compute.base + compute.per_sample * sizes * self.epochs
         bands = np.asarray(latency_model.delays.bands, dtype=float)
         assignment = latency_model.delays.assignment
+        if client_ids is not None:
+            ids = np.asarray(client_ids, dtype=np.int64)
+            if ids.shape != sizes.shape:
+                raise ValueError("client_ids must align with train_sizes")
+            assignment = np.asarray(assignment)[ids]
         lo = bands[assignment, 0]
         hi = bands[assignment, 1]
         p = self.probe_rounds

@@ -38,6 +38,9 @@ def test_with_replaces_fields():
         ("fedasync_staleness", "exp"),
         ("compression", "gzip:9"),
         ("compression", "polyline:abc"),
+        ("heartbeat_interval", 0.0),
+        ("worker_grace", 0.0),
+        ("profile_sample", 0),
     ],
 )
 def test_rejects_invalid(field, value):
@@ -47,6 +50,24 @@ def test_rejects_invalid(field, value):
 
 def test_compression_none_allowed():
     assert FLConfig(compression=None).compression is None
+
+
+def test_executor_names_come_from_the_registry():
+    for name in ("serial", "parallel", "dist"):
+        assert FLConfig(executor=name).executor == name
+    with pytest.raises(ValueError, match="registered"):
+        FLConfig(executor="gpu")
+
+
+def test_heartbeat_timeout_must_exceed_interval():
+    FLConfig(heartbeat_interval=0.1, heartbeat_timeout=1.0)
+    with pytest.raises(ValueError, match="heartbeat_timeout"):
+        FLConfig(heartbeat_interval=1.0, heartbeat_timeout=0.5)
+
+
+def test_profile_sample_accepts_positive_counts():
+    assert FLConfig(profile_sample=None).profile_sample is None
+    assert FLConfig(profile_sample=100).profile_sample == 100
 
 
 def test_frozen():

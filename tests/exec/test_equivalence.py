@@ -8,11 +8,14 @@ carry explicit batch-schedule cursors and pre-sampled latencies, so local
 training is a pure function of its inputs and executors are free to
 schedule it anywhere.
 
-Chaos mode: setting ``REPRO_FAULTS`` (e.g. ``crash:0.2+corrupt:0.1``) runs
-every parallel side of this suite under deterministic fault injection —
-workers crash, hang, or corrupt results in flight, the supervisor retries
+Chaos mode: setting ``REPRO_FAULTS`` (e.g. ``crash:0.2+corrupt:0.1`` or
+``drop:0.2+delay:0.3``) runs every non-serial side of this suite under
+deterministic fault injection — workers crash, hang, drop their
+connection, delay, or corrupt results in flight, the supervisor retries
 and redispatches, and the histories must **still** be bit-identical to the
-fault-free serial runs. CI's chaos smoke job sets exactly this.
+fault-free serial runs. CI's chaos matrix sets exactly this. Network
+families (``drop``/``delay``) only exist for the dist executor, so they
+are filtered out of the pool runs automatically.
 """
 
 import dataclasses
@@ -30,17 +33,31 @@ from repro.experiments.config import build_model_builder
 
 _BUDGETS = {FedAT: 12, FedAvg: 4, FedAsync: 25, ASOFed: 25}
 
-#: Fault spec injected into every parallel run of this suite (chaos mode).
+#: Fault spec injected into every non-serial run of this suite (chaos mode).
 _FAULTS = os.environ.get("REPRO_FAULTS") or None
+
+#: Fault families that model the scheduler/worker network; only the dist
+#: executor has connections to sever, so the pool runs strip them.
+_NETWORK_FAMILIES = ("drop", "delay")
+
+
+def _chaos_spec(executor):
+    if not _FAULTS or executor == "serial":
+        return None
+    atoms = _FAULTS.split("+")
+    if executor == "parallel":
+        atoms = [a for a in atoms if a.split(":")[0] not in _NETWORK_FAMILIES]
+    return "+".join(atoms) or None
 
 
 def _config(cls, seed, executor):
     chaos = {}
-    if executor == "parallel" and _FAULTS:
+    spec = _chaos_spec(executor)
+    if spec:
         # chunk_timeout bounds hang recovery and is harmless otherwise: a
         # spurious timeout redispatches a deterministic chunk, which cannot
         # change the history — only the wall clock.
-        chaos = {"faults": _FAULTS, "chunk_timeout": 5.0}
+        chaos = {"faults": spec, "chunk_timeout": 5.0, "chunk_retries": 8}
     return FLConfig(
         clients_per_round=4,
         local_epochs=2,
@@ -51,7 +68,7 @@ def _config(cls, seed, executor):
         seed=seed,
         compression="polyline:4" if cls is FedAT else None,
         executor=executor,
-        num_workers=2 if executor == "parallel" else 0,
+        num_workers=0 if executor == "serial" else 2,
         **chaos,
     )
 
@@ -116,3 +133,30 @@ def test_parallel_meters_match_serial(tiny_bow_dataset):
     assert a.meter.downlink_messages == b.meter.downlink_messages
     np.testing.assert_array_equal(a.global_weights, b.global_weights)
     np.testing.assert_array_equal(a._epoch_cursor, b._epoch_cursor)
+
+
+# --------------------------------------------------------------------- #
+# Distributed executor: same contract, over sockets
+# --------------------------------------------------------------------- #
+@pytest.mark.parametrize("cls", [FedAT, FedAvg], ids=["fedat", "fedavg"])
+def test_dist_history_bit_identical(tiny_bow_dataset, cls):
+    """Scheduler + socket workers must reproduce the serial history bit for
+    bit — under REPRO_FAULTS chaos (including the network-only drop/delay
+    families) exactly as in the fault-free case."""
+    serial = _history(tiny_bow_dataset, cls, 0, "serial")
+    dist = _history(tiny_bow_dataset, cls, 0, "dist")
+    _assert_identical(serial, dist)
+
+
+def test_dist_history_bit_identical_async(tiny_bow_dataset):
+    """Async steady state: singleton cohorts ride the in-process fast path,
+    the batched launch cohort goes over the wire."""
+    serial = _history(tiny_bow_dataset, FedAsync, 0, "serial")
+    dist = _history(tiny_bow_dataset, FedAsync, 0, "dist")
+    _assert_identical(serial, dist)
+
+
+def test_dist_matches_on_image_cnn(tiny_image_dataset):
+    serial = _history(tiny_image_dataset, FedAT, 0, "serial")
+    dist = _history(tiny_image_dataset, FedAT, 0, "dist")
+    _assert_identical(serial, dist)

@@ -89,6 +89,61 @@ class TestFactory:
         assert par.num_workers >= 1
         par.close()
 
+    def test_dist_backend(self, tiny_bow_dataset):
+        from repro.exec.dist import DistExecutor
+
+        ex = make_executor(
+            "dist",
+            num_workers=2,
+            model=_model(tiny_bow_dataset),
+            clients=_clients(tiny_bow_dataset),
+            loss=SoftmaxCrossEntropy(),
+            optimizer=OptimizerSpec("sgd", 0.1),
+        )
+        assert isinstance(ex, DistExecutor)
+        assert ex.num_chunks == 2
+        ex.close()
+
+    def test_registry_lists_builtins_and_accepts_plugins(self, tiny_bow_dataset):
+        from repro.exec import executor_names, register_executor
+        from repro.exec.base import _EXECUTOR_REGISTRY
+
+        assert {"serial", "parallel", "dist"} <= set(executor_names())
+
+        made = {}
+
+        def factory(**kwargs):
+            made.update(kwargs)
+            return SerialExecutor(
+                kwargs["model"], kwargs["clients"], kwargs["loss"], kwargs["optimizer"]
+            )
+
+        register_executor("custom", factory)
+        try:
+            assert "custom" in executor_names()
+            ex = make_executor(
+                "custom",
+                model=_model(tiny_bow_dataset),
+                clients=_clients(tiny_bow_dataset),
+                loss=SoftmaxCrossEntropy(),
+                optimizer=OptimizerSpec("sgd", 0.1),
+                num_workers=3,
+            )
+            assert isinstance(ex, SerialExecutor)
+            assert made["num_workers"] == 3  # factories see every knob
+        finally:
+            _EXECUTOR_REGISTRY.pop("custom", None)
+
+    def test_unknown_name_lists_registered(self, tiny_bow_dataset):
+        with pytest.raises(ValueError, match="serial"):
+            make_executor(
+                "gpu",
+                model=_model(tiny_bow_dataset),
+                clients=_clients(tiny_bow_dataset),
+                loss=SoftmaxCrossEntropy(),
+                optimizer=OptimizerSpec("sgd", 0.1),
+            )
+
 
 class TestSerialExecutor:
     def test_results_in_task_order(self, tiny_bow_dataset):

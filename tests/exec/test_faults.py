@@ -41,6 +41,7 @@ def test_parse_faults_grammar():
     assert parse_faults("crash:0.2") == FaultSpec(crash=0.2)
     assert parse_faults("crash:0.2+corrupt:0.1") == FaultSpec(crash=0.2, corrupt=0.1)
     assert parse_faults("hang:1") == FaultSpec(hang=1.0)
+    assert parse_faults("drop:0.3+delay:0.5") == FaultSpec(drop=0.3, delay=0.5)
 
 
 @pytest.mark.parametrize(
@@ -64,9 +65,25 @@ def test_parse_faults_rejects(bad):
 def test_hang_faults_require_timeout_in_config():
     with pytest.raises(ValueError, match="chunk_timeout"):
         FLConfig(executor="parallel", faults="hang:0.5")
+    with pytest.raises(ValueError, match="chunk_timeout"):
+        FLConfig(executor="dist", faults="hang:0.5")
     # Serial runs have no worker pool: the spec parses but needs no timeout.
     FLConfig(executor="serial", faults="hang:0.5")
     FLConfig(executor="parallel", faults="hang:0.5", chunk_timeout=2.0)
+    FLConfig(executor="dist", faults="hang:0.5", chunk_timeout=2.0)
+
+
+def test_network_faults_require_dist_executor():
+    """drop/delay model the scheduler/worker network; the process pool has
+    no connection to sever, so the config rejects the combination."""
+    for spec in ("drop:0.5", "delay:0.5", "crash:0.1+drop:0.2"):
+        with pytest.raises(ValueError, match="dist"):
+            FLConfig(executor="parallel", faults=spec)
+        with pytest.raises(ValueError, match="dist"):
+            FLConfig(executor="serial", faults=spec)
+        FLConfig(executor="dist", faults=spec)  # valid
+    # Zero-probability network atoms are null: any executor accepts them.
+    FLConfig(executor="parallel", faults="drop:0")
 
 
 # --------------------------------------------------------------------- #

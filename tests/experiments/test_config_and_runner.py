@@ -115,6 +115,25 @@ class TestRunner:
         # All clients in the zero-delay part → rounds are compute-bound.
         assert h.times()[-1] < 4 * 5.0
 
+    def test_cache_ignores_execution_only_knobs(self, tmp_path, monkeypatch):
+        """Executors are bit-equivalent by contract, so a serial run must
+        satisfy the same experiment requested under executor='dist' — no
+        re-run, same object from the memory cache."""
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "_CACHE_DIR", tmp_path / "cache")
+        clear_cache()
+        kwargs = dict(scale="tiny", seed=0, classes_per_client=2,
+                      max_rounds=2, eval_every=1)
+        h1 = run_cached("fedavg", "sentiment140", executor="serial", **kwargs)
+        h2 = run_cached("fedavg", "sentiment140", executor="dist",
+                        num_workers=2, chunk_retries=5, **kwargs)
+        assert h1 is h2
+        # Result-shaping knobs still key separate entries.
+        h3 = run_cached("fedavg", "sentiment140", profile_sample=6, **kwargs)
+        assert h3 is not h1
+        clear_cache()
+
     def test_cache_hits_are_identical_objects(self, tmp_path, monkeypatch):
         import repro.experiments.runner as runner_mod
 
